@@ -1,0 +1,138 @@
+"""Experiment A1 -- ablation: every oracle subroutine is load-bearing.
+
+Section 4's case analysis says the three subroutines *jointly* cover all
+instances: each structural regime defeats the other two subroutines.
+This bench disables one subroutine at a time and measures the oracle's
+estimate on the regime that subroutine was designed for.  Shape: the
+full oracle's advantage over the ablated one is largest exactly on the
+matching regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, Parameters, lazy_greedy
+from repro.bench import ResultTable
+from repro.core.oracle import Oracle
+
+N, M, K, ALPHA = 400, 200, 8, 4.0
+SEEDS = [1, 2, 3]
+
+REGIME_TO_SUBROUTINE = {
+    "many_small": "small_set",
+    "common_heavy": "large_common",
+    "few_large": "large_set",
+}
+
+
+def _workloads():
+    from repro.streams.generators import common_heavy, few_large_sets, planted_cover
+
+    return {
+        "many_small": planted_cover(n=N, m=M, k=K, coverage_frac=0.9, seed=71),
+        "few_large": few_large_sets(n=N, m=M, k=K, num_large=2, seed=71),
+        "common_heavy": common_heavy(n=N, m=M, k=K, beta=2.0, seed=71),
+    }
+
+
+def _best_estimate(edges, enable, params):
+    best = 0.0
+    for seed in SEEDS:
+        oracle = Oracle(params, seed=seed, enable=enable)
+        oracle.process_batch(*edges)
+        best = max(best, oracle.estimate())
+    return best
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    params = Parameters.practical(M, N, K, ALPHA)
+    all_subs = ["large_common", "large_set", "small_set"]
+    rows = []
+    for wname, workload in _workloads().items():
+        system = workload.system
+        opt = lazy_greedy(system, K).coverage
+        edges = EdgeStream.from_system(system, order="random", seed=4).as_arrays()
+        full = _best_estimate(edges, all_subs, params)
+        for removed in all_subs:
+            remaining = [s for s in all_subs if s != removed]
+            ablated = _best_estimate(edges, remaining, params)
+            rows.append(
+                {
+                    "workload": wname,
+                    "removed": removed,
+                    "opt": opt,
+                    "full": full,
+                    "ablated": ablated,
+                }
+            )
+    return rows
+
+
+def test_ablation_table(ablation, save_table, benchmark):
+    params = Parameters.practical(M, N, K, ALPHA)
+    workload = _workloads()["many_small"]
+    edges = EdgeStream.from_system(workload.system, order="random", seed=4).as_arrays()
+    benchmark(
+        lambda: Oracle(params, seed=1, enable=["large_common"])
+        .process_batch(*edges)
+        .estimate()
+    )
+
+    table = ResultTable(
+        ["workload", "removed subroutine", "OPT", "full oracle", "ablated", "loss"],
+        title=f"A1: oracle ablation (alpha={ALPHA}, k={K})",
+    )
+    for row in ablation:
+        loss = 1 - row["ablated"] / max(row["full"], 1e-9)
+        table.add_row(
+            row["workload"], row["removed"], row["opt"],
+            round(row["full"], 1), round(row["ablated"], 1),
+            f"{100 * loss:.0f}%",
+        )
+    save_table("ablation", table)
+
+    # At alpha << k, SmallSet carries every regime (it stores a large
+    # O~(m/alpha^2) table); removing it is the catastrophic ablation.
+    for wname in REGIME_TO_SUBROUTINE:
+        cells = {
+            row["removed"]: row
+            for row in ablation
+            if row["workload"] == wname
+        }
+        assert cells["small_set"]["ablated"] < cells["small_set"]["full"]
+        losses = {
+            removed: cell["full"] - cell["ablated"]
+            for removed, cell in cells.items()
+        }
+        assert losses["small_set"] == max(losses.values())
+
+
+def test_large_common_necessary_at_high_alpha(save_table, benchmark):
+    """The flip side: at alpha >= 2k SmallSet is out of the game
+    (Figure 2's branch), and on a common-heavy instance LargeCommon is
+    what keeps the oracle useful -- its ablation is the costly one."""
+    alpha = 16.0
+    params = Parameters.practical(M, N, K, alpha)
+    assert params.large_set_dominates
+    workload = _workloads()["common_heavy"]
+    system = workload.system
+    opt = lazy_greedy(system, K).coverage
+    edges = EdgeStream.from_system(system, order="random", seed=6).as_arrays()
+
+    full = benchmark(
+        lambda: _best_estimate(edges, ["large_common", "large_set"], params)
+    )
+    without_lc = _best_estimate(edges, ["large_set"], params)
+
+    table = ResultTable(
+        ["configuration", "estimate", "OPT"],
+        title=f"A1b: LargeCommon ablation at alpha={alpha} on common_heavy",
+    )
+    table.add_row("large_common + large_set", round(full, 1), opt)
+    table.add_row("large_set only", round(without_lc, 1), opt)
+    save_table("ablation_high_alpha", table)
+
+    assert full > 0
+    assert without_lc <= full

@@ -1,0 +1,83 @@
+"""Experiment E15 -- the ``+k`` term of Theorem 3.2, and k-scaling.
+
+Theorem 3.2's reporting bound is ``O~(m/alpha^2 + k)``: the cover itself
+must be held, so space cannot drop below ``k`` no matter how large
+``alpha`` is.  This bench sweeps ``k`` at fixed ``(m, n, alpha)`` and
+verifies (a) the reporter's footprint grows no faster than linearly in
+``k`` once the sketch term is fixed, and (b) reported covers use their
+budget (more sets -> more coverage, up to saturation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, MaxCoverReporter, lazy_greedy
+from repro.bench import ResultTable
+
+N, M, ALPHA = 480, 240, 4.0
+KS = [2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    from repro.streams.generators import planted_cover
+
+    rows = []
+    for k in KS:
+        workload = planted_cover(
+            n=N, m=M, k=max(k, 4), coverage_frac=0.9, seed=88
+        )
+        system = workload.system
+        opt = lazy_greedy(system, k).coverage
+        arrays = EdgeStream.from_system(
+            system, order="random", seed=2
+        ).as_arrays()
+        reporter = MaxCoverReporter(m=M, n=N, k=k, alpha=ALPHA, seed=3)
+        reporter.process_batch(*arrays)
+        cover = reporter.solution()
+        rows.append(
+            {
+                "k": k,
+                "opt": opt,
+                "true": system.coverage(cover.set_ids),
+                "sets": len(cover.set_ids),
+                "space": reporter.space_words(),
+            }
+        )
+    return rows
+
+
+def test_k_sweep_table(sweep, save_table, benchmark):
+    from repro.streams.generators import planted_cover
+
+    workload = planted_cover(n=N, m=M, k=8, coverage_frac=0.9, seed=88)
+    arrays = EdgeStream.from_system(
+        workload.system, order="random", seed=2
+    ).as_arrays()
+    benchmark(
+        lambda: MaxCoverReporter(m=M, n=N, k=8, alpha=ALPHA, seed=3)
+        .process_batch(*arrays)
+        .solution()
+    )
+
+    table = ResultTable(
+        ["k", "OPT(k)", "true coverage", "#sets", "space"],
+        title=f"E15: reporting vs k (m={M}, n={N}, alpha={ALPHA})",
+    )
+    for row in sweep:
+        table.add_row(
+            row["k"], row["opt"], row["true"], row["sets"], row["space"]
+        )
+    save_table("k_sweep", table)
+
+    for row in sweep:
+        assert row["sets"] <= row["k"]
+        assert row["true"] >= row["opt"] / (10 * ALPHA)
+    # Coverage grows with the budget (weakly; saturation allowed).
+    coverages = [row["true"] for row in sweep]
+    assert coverages[-1] >= coverages[0]
+    # Space stays within a mild factor across a 16x k range: the sketch
+    # term dominates and the +k term is additive, not multiplicative.
+    spaces = [row["space"] for row in sweep]
+    assert max(spaces) <= 6 * min(spaces)

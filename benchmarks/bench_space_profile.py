@@ -1,0 +1,80 @@
+"""Experiment E16 -- where the Theta~(m/alpha^2) actually lives.
+
+Theorem 4.1's space statement is a sum over three subroutines with very
+different profiles: ``LargeCommon`` is ``O~(1)``, ``SmallSet`` is
+``O~(m/alpha^2)`` stored edges, ``LargeSet`` is ``O~(m/alpha^2)``
+CountSketch grids plus ``O~(1)`` side structures.  This bench breaks the
+oracle's measured footprint down by component across alpha, verifying
+each component's scaling law separately -- a sharper check than the
+aggregate slope of E1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, Parameters
+from repro.bench import ResultTable, fit_power_law
+from repro.core.oracle import Oracle
+
+N, M, K = 600, 300, 10
+# Below alpha=4 SmallSet's 4m/alpha set-sampling rate saturates at m on
+# this instance size, flattening its curve; sweep where sampling bites.
+ALPHAS = [4.0, 8.0, 16.0]
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    from repro.streams.generators import planted_cover
+
+    workload = planted_cover(n=N, m=M, k=K, coverage_frac=0.9, seed=44)
+    arrays = EdgeStream.from_system(
+        workload.system, order="random", seed=2
+    ).as_arrays()
+    rows = {}
+    for alpha in ALPHAS:
+        params = Parameters.practical(M, N, K, alpha)
+        oracle = Oracle(params, seed=3)
+        oracle.process_batch(*arrays)
+        oracle.estimate()
+        rows[alpha] = oracle.space_profile()
+    return rows
+
+
+def test_space_profile_table(profiles, save_table, benchmark):
+    benchmark(lambda: Parameters.practical(M, N, K, 4.0))
+
+    components = sorted({c for p in profiles.values() for c in p})
+    table = ResultTable(
+        ["alpha"] + components + ["total"],
+        title=f"E16: oracle space by component (m={M}, n={N}, k={K})",
+    )
+    for alpha, profile in profiles.items():
+        values = [profile.get(c, 0) for c in components]
+        table.add_row(alpha, *values, sum(values))
+    for component in components:
+        xs = [a for a in ALPHAS if component in profiles[a]]
+        ys = [profiles[a][component] for a in xs]
+        if len(xs) >= 2 and all(y > 0 for y in ys):
+            exponent, _ = fit_power_law(xs, ys)
+            table.add_row(
+                f"{component} fit", *[""] * len(components),
+                f"~alpha^{exponent:.2f}",
+            )
+    save_table("space_profile", table)
+
+    # LargeCommon is flat (O~(1) up to its log-alpha layer count).
+    lc = [profiles[a].get("large_common", 0) for a in ALPHAS]
+    assert max(lc) <= 4 * max(1, min(lc))
+    # The heavy components shrink substantially across a 4x alpha range.
+    for component in ("large_set", "small_set"):
+        values = [
+            profiles[a][component]
+            for a in ALPHAS
+            if component in profiles[a]
+        ]
+        if len(values) >= 2:
+            assert values[-1] < values[0] / 2, component
+    # LargeSet dwarfs LargeCommon at every alpha.
+    for alpha in ALPHAS:
+        assert profiles[alpha]["large_set"] > profiles[alpha]["large_common"]

@@ -1,0 +1,77 @@
+"""Experiment T2 -- Table 2: the oracle's parameter schedule.
+
+Prints the resolved parameters for a grid of instance shapes in both
+modes and asserts the relations the Section 4 analysis leans on:
+``w = min(k, alpha)``, ``s = O~(w/alpha) < 1``, ``t*s = Theta(polylog)``
+(so ``LargeSet``'s element sample is ``Theta~(alpha)`` elements), and the
+``sigma``/``f`` polylog forms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Parameters
+from repro.bench import ResultTable
+
+GRID = [
+    (1_000, 1_000, 10, 4.0),
+    (1_000, 10_000, 10, 4.0),
+    (10_000, 10_000, 100, 16.0),
+    (10_000, 10_000, 10, 64.0),
+    (100_000, 100_000, 1_000, 32.0),
+]
+
+
+def test_parameter_schedule_table(save_table, benchmark):
+    benchmark(lambda: [Parameters.paper(*shape) for shape in GRID])
+
+    table = ResultTable(
+        ["mode", "m", "n", "k", "alpha", "w", "s", "f", "sigma", "t", "rho"],
+        title="T2: Table 2 parameter schedule",
+    )
+    for maker, mode in ((Parameters.paper, "paper"), (Parameters.practical, "practical")):
+        for m, n, k, alpha in GRID:
+            p = maker(m, n, k, alpha)
+            table.add_row(
+                mode, m, n, k, alpha, p.w, p.s, p.f, p.sigma, p.t, p.rho
+            )
+    save_table("table2_parameters", table)
+
+    for maker in (Parameters.paper, Parameters.practical):
+        for m, n, k, alpha in GRID:
+            p = maker(m, n, k, alpha)
+            assert p.w == min(k, math.ceil(alpha))
+            assert 0 < p.s < 1
+            assert p.f >= 1
+            assert 0 < p.sigma < 1
+            assert p.t > 0
+            assert 0 < p.rho <= 1
+            # LargeSet's expected element-sample size t*s*alpha*eta is
+            # Theta~(alpha): between alpha and a polylog multiple of it.
+            sample = p.t * p.s * p.alpha * p.eta
+            log2mn = math.log2(m * n)
+            assert alpha <= sample <= 4 * 5000 * log2mn**2 * alpha
+
+
+def test_paper_mode_polylog_forms(benchmark):
+    ps = benchmark(
+        lambda: [Parameters.paper(m, m, 10, 8.0) for m in (10**3, 10**4, 10**5)]
+    )
+    # f grows logarithmically, sigma shrinks polylogarithmically.
+    assert ps[0].f < ps[1].f < ps[2].f
+    assert ps[0].sigma > ps[1].sigma > ps[2].sigma
+    # s shrinks as the fixed polylog factors grow.
+    assert ps[0].s > ps[2].s
+
+
+def test_practical_mode_scale_free(benchmark):
+    ps = benchmark(
+        lambda: [
+            Parameters.practical(m, m, 10, 8.0) for m in (10**3, 10**5)
+        ]
+    )
+    # Practical mode collapses polylogs: parameters are scale-free.
+    assert ps[0].s == ps[1].s
+    assert ps[0].f == ps[1].f
+    assert ps[0].sigma == ps[1].sigma

@@ -1,0 +1,100 @@
+"""Experiment E1 -- Theorem 3.1: the headline space/approximation trade-off.
+
+Sweeps ``alpha`` for the oracle on a fixed planted instance and measures
+(a) the space actually held and (b) the approximation actually achieved.
+The paper's claim is ``space = Theta~(m / alpha^2)``: the log-log fit of
+measured space against ``alpha`` should have slope near ``-2``, while the
+achieved ratio stays below ``alpha`` (times the practical constants).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, Parameters, lazy_greedy
+from repro.bench import ResultTable, fit_power_law, model_curve
+from repro.core.oracle import Oracle
+
+N, M, K = 800, 400, 10
+ALPHAS = [2.0, 4.0, 8.0, 16.0]
+SEEDS = [3, 11]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.streams.generators import planted_cover
+
+    workload = planted_cover(n=N, m=M, k=K, coverage_frac=0.9, seed=7)
+    system = workload.system
+    return {
+        "system": system,
+        "opt": lazy_greedy(system, K).coverage,
+        "edges": EdgeStream.from_system(system, order="random", seed=1).as_arrays(),
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep_results(setup):
+    rows = []
+    for alpha in ALPHAS:
+        params = Parameters.practical(M, N, K, alpha)
+        spaces, estimates = [], []
+        for seed in SEEDS:
+            oracle = Oracle(params, seed=seed)
+            oracle.process_batch(*setup["edges"])
+            estimates.append(oracle.estimate())
+            spaces.append(oracle.space_words())
+        space = sum(spaces) / len(spaces)
+        best = max(estimates)
+        rows.append(
+            {
+                "alpha": alpha,
+                "space": space,
+                "estimate": best,
+                "ratio": setup["opt"] / max(best, 1e-9),
+                "model": model_curve(M, alpha),
+            }
+        )
+    return rows
+
+
+def test_tradeoff_table(sweep_results, setup, save_table, benchmark):
+    params = Parameters.practical(M, N, K, 8.0)
+    benchmark(
+        lambda: Oracle(params, seed=1).process_batch(*setup["edges"]).estimate()
+    )
+
+    table = ResultTable(
+        ["alpha", "space (words)", "m/alpha^2 (model)", "estimate", "ratio"],
+        title=f"E1: space/approximation trade-off, m={M}, n={N}, k={K}, "
+        f"OPT~{setup['opt']}",
+    )
+    for row in sweep_results:
+        table.add_row(
+            row["alpha"], row["space"], row["model"], row["estimate"], row["ratio"]
+        )
+    exponent, _ = fit_power_law(
+        [r["alpha"] for r in sweep_results],
+        [r["space"] for r in sweep_results],
+    )
+    table.add_row("fit", f"space ~ alpha^{exponent:.2f}", "", "", "")
+    save_table("tradeoff", table)
+
+    # Headline shape: slope close to -2 (polylog terms flatten it a bit).
+    assert -2.6 <= exponent <= -1.2, f"fitted exponent {exponent}"
+    # Space strictly decreasing in alpha.
+    spaces = [r["space"] for r in sweep_results]
+    assert spaces == sorted(spaces, reverse=True)
+    # Approximation stays within the O~(alpha) budget and degrades with it.
+    for row in sweep_results:
+        assert row["ratio"] <= 3 * row["alpha"]
+    assert sweep_results[0]["ratio"] <= sweep_results[-1]["ratio"] * 1.5
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_perf_oracle_pass(setup, benchmark, alpha):
+    """Timed: one oracle pass per alpha (cost also shrinks with alpha)."""
+    params = Parameters.practical(M, N, K, alpha)
+    benchmark(
+        lambda: Oracle(params, seed=5).process_batch(*setup["edges"]).estimate()
+    )

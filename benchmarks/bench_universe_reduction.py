@@ -1,0 +1,80 @@
+"""Experiment E3 -- Lemma 3.5 / Theorem 3.6: universe reduction quality.
+
+Measures, across guesses ``z``, (a) the probability that a 4-wise hash
+preserves a size-``z`` coverage up to factor 4 (Lemma 3.5 promises 3/4)
+and (b) that reduction never inflates coverage -- the two facts Theorem
+3.6 composes into ``EstimateMaxCover``'s correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.universe_reduction import UniverseReducer
+
+ZS = [32, 64, 128, 256]
+TRIALS = 60
+
+
+@pytest.fixture(scope="module")
+def preservation_rates():
+    rates = {}
+    for z in ZS:
+        elements = list(range(z))  # |S| = z, the lemma's boundary case
+        ok = sum(
+            UniverseReducer(z, seed=seed).image_size(elements) >= z / 4
+            for seed in range(TRIALS)
+        )
+        rates[z] = ok / TRIALS
+    return rates
+
+
+def test_lemma_3_5_table(preservation_rates, save_table, benchmark):
+    benchmark(
+        lambda: UniverseReducer(128, seed=1).image_size(range(128))
+    )
+
+    table = ResultTable(
+        ["z", "Pr[|h(S)| >= z/4]", "promised"],
+        title=f"E3: Lemma 3.5 preservation rate over {TRIALS} seeds",
+    )
+    for z, rate in preservation_rates.items():
+        table.add_row(z, rate, ">= 0.75")
+    save_table("universe_reduction", table)
+
+    for z, rate in preservation_rates.items():
+        assert rate >= 0.75, f"z={z} preserved only {rate:.2f}"
+
+
+def test_reduction_never_inflates(benchmark):
+    """|h(C)| <= |C| for every set and every z -- the soundness half."""
+
+    def check() -> bool:
+        for z in (8, 64, 512):
+            reducer = UniverseReducer(z, seed=3)
+            for size in (1, 10, 100, 1000):
+                if reducer.image_size(range(size)) > min(size, z):
+                    return False
+        return True
+
+    assert benchmark(check)
+
+
+def test_oversampling_boosts_success(benchmark):
+    """Repetition drives failure down: max over log(1/delta) trials
+    preserves coverage essentially always (Figure 1's repeat loop)."""
+
+    def boosted_rate() -> float:
+        z = 64
+        elements = list(range(z))
+        ok = 0
+        for block in range(20):
+            best = max(
+                UniverseReducer(z, seed=3 * block + r).image_size(elements)
+                for r in range(3)
+            )
+            ok += best >= z / 4
+        return ok / 20
+
+    assert benchmark(boosted_rate) >= 0.95

@@ -1,0 +1,35 @@
+"""Shared benchmark infrastructure.
+
+Each bench target computes an experiment table (the paper-shaped result),
+saves it under ``benchmarks/results/``, prints it, and asserts the
+qualitative *shape* the paper predicts (who wins, what shrinks).  The
+``benchmark`` fixture times the core streaming pass so that
+``pytest benchmarks/ --benchmark-only`` also yields a throughput table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """Persist a ResultTable and echo it to stdout."""
+
+    def _save(name: str, table) -> None:
+        path = results_dir / f"{name}.txt"
+        text = table.render()
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

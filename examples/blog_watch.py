@@ -1,0 +1,85 @@
+"""Multi-topic blog watch: the motivating application of Saha--Getoor [37].
+
+Scenario: a feed of blog posts arrives; each post mentions a set of
+topics.  An editor can feature ``k`` blogs and wants the featured blogs
+to jointly cover as many topics as possible.  Crucially, posts arrive
+*interleaved across blogs* -- one blog's topic mentions are scattered
+through the feed -- which is exactly the edge-arrival model this paper
+solves and the set-arrival baselines cannot handle.
+
+The demo synthesises a skewed blogosphere (a few prolific generalist
+blogs, many niche ones), streams the post feed, and compares:
+
+* this paper's reporter at two alphas (edge arrival -- works on the feed);
+* Saha--Getoor swap streaming (set arrival -- needs the feed regrouped
+  per blog, i.e. a preprocessing pass a streaming system doesn't have);
+* offline greedy (full memory, ground truth).
+
+Run:  python examples/blog_watch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EdgeStream, MaxCoverReporter, SetSystem, lazy_greedy
+from repro.baselines import SahaGetoorSwap
+
+
+def synthesize_blogosphere(
+    num_blogs: int = 300, num_topics: int = 600, seed: int = 5
+) -> SetSystem:
+    """A zipf-ish blogosphere: blog b covers ~ c / rank(b) topics."""
+    rng = np.random.default_rng(seed)
+    blogs: list[set[int]] = []
+    for rank in range(1, num_blogs + 1):
+        breadth = max(2, int(120 / rank**0.7))
+        # Generalists sample topics uniformly; niche blogs cluster.
+        center = rng.integers(0, num_topics)
+        spread = num_topics if rank <= 10 else 40
+        topics = (center + rng.integers(0, spread, size=breadth)) % num_topics
+        blogs.append({int(t) for t in topics})
+    return SetSystem(blogs, n=num_topics)
+
+
+def main() -> None:
+    k = 10
+    system = synthesize_blogosphere()
+    m, n = system.m, system.n
+    print(f"blogosphere: {m} blogs, {n} topics, {system.total_size()} mentions")
+
+    opt = lazy_greedy(system, k).coverage
+    print(f"offline greedy (full memory): {opt} topics with k={k} blogs\n")
+
+    # The live feed: mentions interleaved across blogs (edge arrival).
+    feed = EdgeStream.from_system(system, order="random", seed=17)
+
+    for alpha in (2.0, 6.0):
+        reporter = MaxCoverReporter(m=m, n=n, k=k, alpha=alpha, seed=23)
+        reporter.process_batch(*feed.as_arrays())
+        cover = reporter.solution()
+        covered = system.coverage(cover.set_ids)
+        print(
+            f"this paper (alpha={alpha:g}): featured {len(cover.set_ids)} "
+            f"blogs covering {covered} topics "
+            f"({100 * covered / opt:.0f}% of greedy) "
+            f"in {reporter.space_words()} words [{cover.source}]"
+        )
+
+    # Saha-Getoor needs each blog's mentions contiguous -- only possible
+    # after regrouping the feed (not a streaming operation).
+    regrouped = feed.reordered("set_major")
+    swap = SahaGetoorSwap(k)
+    swap.process_edge_stream(regrouped)
+    print(
+        f"\nSaha-Getoor [37] (set arrival, feed regrouped per blog): "
+        f"{swap.estimate():.0f} topics in {swap.space_words()} words"
+    )
+    try:
+        SahaGetoorSwap(k).process_edge_stream(feed)
+    except ValueError as exc:
+        print(f"Saha-Getoor on the raw feed: REJECTED ({exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""The headline trade-off, live: dial alpha, watch space fall as ~1/alpha^2.
+
+Sweeps the approximation target alpha on one instance and prints the
+measured (space, estimate) pairs next to the paper's model curve
+m/alpha^2, plus the fitted exponent.  This is a lightweight interactive
+companion to benchmarks/bench_tradeoff.py.
+
+Run:  python examples/tradeoff_demo.py [alpha ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EdgeStream, Parameters, lazy_greedy, planted_cover
+from repro.bench import ResultTable, fit_power_law, model_curve
+from repro.core.oracle import Oracle
+
+
+def main() -> None:
+    alphas = [float(a) for a in sys.argv[1:]] or [2.0, 4.0, 8.0, 16.0]
+    n, m, k = 600, 300, 10
+    workload = planted_cover(n=n, m=m, k=k, coverage_frac=0.9, seed=9)
+    system = workload.system
+    opt = lazy_greedy(system, k).coverage
+    edges = EdgeStream.from_system(system, order="random", seed=4).as_arrays()
+    print(f"instance: m={m}, n={n}, k={k}, OPT~{opt}\n")
+
+    table = ResultTable(
+        ["alpha", "space (words)", "m/alpha^2", "estimate", "ratio"],
+        title="space/approximation trade-off (Theorem 3.1)",
+    )
+    spaces = []
+    for alpha in alphas:
+        params = Parameters.practical(m, n, k, alpha)
+        oracle = Oracle(params, seed=8)
+        oracle.process_batch(*edges)
+        estimate = oracle.estimate()
+        space = oracle.space_words()
+        spaces.append(space)
+        table.add_row(
+            alpha,
+            space,
+            round(model_curve(m, alpha), 1),
+            round(estimate, 1),
+            round(opt / max(estimate, 1e-9), 2),
+        )
+    print(table.render())
+
+    if len(alphas) >= 2:
+        exponent, _ = fit_power_law(alphas, spaces)
+        print(
+            f"\nfitted: space ~ alpha^{exponent:.2f} "
+            f"(paper: alpha^-2 up to polylog factors)"
+        )
+
+
+if __name__ == "__main__":
+    main()

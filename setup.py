@@ -1,0 +1,10 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline.
+
+The environment this repository targets has no network access and an older
+setuptools without editable-wheel support, so we keep a minimal
+``setup.py`` alongside ``pyproject.toml`` (which holds all metadata).
+"""
+
+from setuptools import setup
+
+setup()

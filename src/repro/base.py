@@ -1,0 +1,213 @@
+"""Shared protocol for every single-pass streaming algorithm in the package.
+
+All estimators -- the vector sketches in :mod:`repro.sketch`, the paper's
+max-coverage oracles in :mod:`repro.core`, and the baselines in
+:mod:`repro.baselines` -- follow the same life cycle:
+
+1. construct with explicit parameters and an explicit ``seed``;
+2. call :meth:`StreamingAlgorithm.process` once per stream token
+   (an ``(set_id, element_id)`` edge for coverage algorithms, a single
+   coordinate for vector sketches);
+3. call a result method (``estimate()`` / ``solution()``), which
+   *finalises* the pass -- further ``process`` calls raise
+   :class:`StreamConsumedError`, enforcing the single-pass model;
+4. query :meth:`StreamingAlgorithm.space_words` for space accounting.
+
+Space accounting counts the machine words a C implementation would retain
+across stream tokens: sketch counters, hash coefficients, stored pairs,
+reservoir contents.  Transient per-token scratch is excluded.  This is the
+quantity the paper's ``O~(m / alpha^2)`` bounds talk about.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "StreamConsumedError",
+    "StreamingAlgorithm",
+    "SetArrivalAlgorithm",
+]
+
+
+class StreamConsumedError(RuntimeError):
+    """Raised when an algorithm receives tokens after its pass finished.
+
+    The streaming model studied by the paper is strictly single pass; the
+    library enforces it so that tests catch accidental multi-pass use.
+    """
+
+
+class StreamingAlgorithm(abc.ABC):
+    """Base class for single-pass streaming algorithms.
+
+    Subclasses implement :meth:`_process` and :meth:`space_words`; the
+    base class provides the pass-finalisation bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._finalized = False
+        self._tokens_seen = 0
+
+    @property
+    def tokens_seen(self) -> int:
+        """Number of stream tokens processed so far."""
+        return self._tokens_seen
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the single pass has ended."""
+        return self._finalized
+
+    def process(self, *token) -> None:
+        """Feed one stream token to the algorithm."""
+        if self._finalized:
+            raise StreamConsumedError(
+                f"{type(self).__name__} already finalised its single pass; "
+                "create a new instance to process another stream"
+            )
+        self._tokens_seen += 1
+        self._process(*token)
+
+    def process_stream(self, stream) -> "StreamingAlgorithm":
+        """Feed every token of an iterable, then return ``self``.
+
+        Tokens that are tuples are splatted into :meth:`process`, so an
+        edge stream of ``(set_id, element_id)`` pairs and an item stream
+        of bare integers both work.
+        """
+        for token in stream:
+            if isinstance(token, tuple):
+                self.process(*token)
+            else:
+                self.process(token)
+        return self
+
+    def process_batch(self, *columns) -> "StreamingAlgorithm":
+        """Feed a column-oriented batch of stream tokens; returns ``self``.
+
+        ``columns`` are parallel arrays -- ``(set_ids, elements)`` for
+        coverage algorithms, ``(items,)`` for vector sketches.  The
+        batch is still *one contiguous chunk of the single pass*: state
+        after a batch equals state after processing the same tokens one
+        by one (up to documented pool-pruning timing in candidate
+        trackers).  Subclasses override :meth:`_process_batch` with
+        vectorised kernels; the default falls back to the scalar path.
+        """
+        if self._finalized:
+            raise StreamConsumedError(
+                f"{type(self).__name__} already finalised its single pass; "
+                "create a new instance to process another stream"
+            )
+        arrays = [np.asarray(c, dtype=np.int64) for c in columns]
+        if not arrays or len(arrays[0]) == 0:
+            return self
+        length = len(arrays[0])
+        if any(len(a) != length for a in arrays):
+            raise ValueError(
+                "batch columns must have equal lengths, got "
+                f"{[len(a) for a in arrays]}"
+            )
+        self._tokens_seen += length
+        self._process_batch(*arrays)
+        return self
+
+    def _process_batch(self, *columns) -> None:
+        """Default batch kernel: the scalar path in a loop."""
+        for row in zip(*columns):
+            self._process(*(int(x) for x in row))
+
+    def process_stream_batched(
+        self, stream, batch_size: int = 8192
+    ) -> "StreamingAlgorithm":
+        """Feed an edge iterable through the batch path in chunks."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+        def flush(buffer: list) -> None:
+            if not buffer:
+                return
+            if isinstance(buffer[0], tuple):
+                self.process_batch(*map(np.asarray, zip(*buffer)))
+            else:
+                self.process_batch(np.asarray(buffer))
+
+        buffer: list = []
+        for token in stream:
+            buffer.append(token)
+            if len(buffer) >= batch_size:
+                flush(buffer)
+                buffer = []
+        flush(buffer)
+        return self
+
+    def finalize(self) -> None:
+        """End the pass; subsequent :meth:`process` calls raise."""
+        self._finalized = True
+
+    @abc.abstractmethod
+    def _process(self, *token) -> None:
+        """Handle one stream token (single-pass hot path)."""
+
+    @abc.abstractmethod
+    def space_words(self) -> int:
+        """Machine words retained across stream tokens."""
+
+
+class SetArrivalAlgorithm(abc.ABC):
+    """Base class for *set-arrival* streaming algorithms.
+
+    The restricted model some baselines require (Table 1, rows 4-5):
+    each set arrives as one unit with its full contents.  The helper
+    :meth:`process_edge_stream` adapts a set-major edge stream by
+    buffering one set at a time -- valid only for ``set_major`` order,
+    which is exactly the limitation the paper's general model removes.
+    """
+
+    def __init__(self) -> None:
+        self._finalized = False
+        self.sets_seen = 0
+
+    def process_set(self, set_id: int, elements) -> None:
+        """Feed one whole set."""
+        if self._finalized:
+            raise StreamConsumedError(
+                f"{type(self).__name__} already finalised its single pass"
+            )
+        self.sets_seen += 1
+        self._process_set(int(set_id), elements)
+
+    def process_edge_stream(self, stream) -> "SetArrivalAlgorithm":
+        """Adapt a *set-major* edge stream; raises on interleaved sets."""
+        current_id: int | None = None
+        buffer: list[int] = []
+        seen: set[int] = set()
+        for set_id, element in stream:
+            if set_id != current_id:
+                if set_id in seen:
+                    raise ValueError(
+                        f"set {set_id} arrived non-contiguously; "
+                        "set-arrival algorithms require set_major order"
+                    )
+                if current_id is not None:
+                    self.process_set(current_id, buffer)
+                seen.add(set_id)
+                current_id, buffer = set_id, []
+            buffer.append(element)
+        if current_id is not None:
+            self.process_set(current_id, buffer)
+        return self
+
+    def finalize(self) -> None:
+        """End the pass."""
+        self._finalized = True
+
+    @abc.abstractmethod
+    def _process_set(self, set_id: int, elements) -> None:
+        """Handle one arriving set."""
+
+    @abc.abstractmethod
+    def space_words(self) -> int:
+        """Machine words retained across arrivals."""

@@ -1,0 +1,20 @@
+"""Baseline algorithms from Table 1 of the paper.
+
+Set-arrival: Saha--Getoor swap streaming [37], sieve-streaming [9],
+McGregor--Vu threshold greedy [34].  Edge-arrival: McGregor--Vu element
+sampling [34] and the Bateni--Esfandiari--Mirrokni universe-reduction
+sketch [12].
+"""
+
+from repro.baselines.bateni import BateniEtAlSketch
+from repro.baselines.mcgregor_vu import McGregorVuEstimator, McGregorVuSetArrival
+from repro.baselines.saha_getoor import SahaGetoorSwap
+from repro.baselines.sieve import SieveStreaming
+
+__all__ = [
+    "McGregorVuEstimator",
+    "McGregorVuSetArrival",
+    "BateniEtAlSketch",
+    "SahaGetoorSwap",
+    "SieveStreaming",
+]

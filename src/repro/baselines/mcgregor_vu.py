@@ -1,0 +1,237 @@
+"""McGregor--Vu baselines [34] (Table 1, rows 3 and 5).
+
+Two algorithms from "Better Streaming Algorithms for the Maximum Coverage
+Problem" (ICDT 2017):
+
+* :class:`McGregorVuEstimator` -- edge arrival, ``1/(1-1/e-eps)``
+  approximation in ``O~(m/eps^2)`` space.  Core idea: guess the optimal
+  coverage ``v`` in powers of two; for each guess, *element-sample* the
+  universe at rate ``~ k / (eps^2 v)`` and store the entire induced
+  sub-instance (all edges on sampled elements), which fits in
+  ``O~(m/eps^2)`` words; after the pass run offline greedy on each
+  stored sub-instance and return the best scaled result.  A guess whose
+  storage overflows its budget is discarded -- its rate was too high for
+  the true optimum anyway.
+* :class:`McGregorVuSetArrival` -- set arrival, ``2+eps`` approximation
+  in ``O~(k/eps^3)`` space.  Threshold greedy: for each guess ``v`` keep
+  a solution under construction; an arriving set is taken when its
+  marginal gain on a sampled universe clears ``v' / (2k)`` (sampled
+  scale), so at most ``k`` sets and ``O~(k/eps^3)`` sampled elements are
+  ever held.
+
+Both are faithful structural reproductions at practical constants; like
+the paper's own algorithms they trade the suppressed polylog factors for
+calibrated defaults.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.base import SetArrivalAlgorithm, StreamingAlgorithm
+from repro.coverage.greedy import lazy_greedy
+from repro.coverage.setsystem import SetSystem
+from repro.sketch.element_sampling import ElementSampler
+
+__all__ = ["McGregorVuEstimator", "McGregorVuSetArrival"]
+
+
+class McGregorVuEstimator(StreamingAlgorithm):
+    """Edge-arrival ``(1-1/e-eps)``-approximate max coverage [34].
+
+    Parameters
+    ----------
+    m, n, k:
+        Instance shape and cover budget.
+    eps:
+        Accuracy parameter; space scales as ``1/eps^2``.
+    seed:
+        Randomness for the per-guess element samplers.
+    """
+
+    def __init__(self, m: int, n: int, k: int, eps: float = 0.5, seed=0):
+        super().__init__()
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if not 0 < k <= m:
+            raise ValueError(f"need 0 < k <= m, got k={k}, m={m}")
+        self.m, self.n, self.k, self.eps = int(m), int(n), int(k), float(eps)
+        rng = np.random.default_rng(seed)
+        max_i = max(1, int(math.ceil(math.log2(max(2, n)))))
+        self._guesses: list[dict] = []
+        log_m = max(1.0, math.log2(max(2, m)))
+        budget = max(256, int(math.ceil(4.0 * m * log_m / eps**2)))
+        for i in range(1, max_i + 1):
+            v = 2**i
+            # Rate k log(m) / (eps^2 v) per element => expected sample
+            # size n * that rate, floored for tiny guesses.
+            expected = max(8.0, 4.0 * k * log_m / (eps**2) * n / v)
+            expected = min(float(n), expected)
+            self._guesses.append(
+                {
+                    "v": v,
+                    "sampler": ElementSampler(
+                        n, expected, seed=rng.integers(0, 2**63), m=m
+                    ),
+                    # A set: duplicate stream edges must not consume the
+                    # storage budget (the model allows replays).
+                    "edges": set(),
+                    "alive": True,
+                    "budget": budget,
+                    "memo": {},
+                }
+            )
+
+    def _process(self, set_id, element) -> None:
+        set_id, element = int(set_id), int(element)
+        for guess in self._guesses:
+            if not guess["alive"]:
+                continue
+            memo = guess["memo"]
+            keep = memo.get(element)
+            if keep is None:
+                keep = guess["sampler"].contains(element)
+                memo[element] = keep
+            if not keep:
+                continue
+            guess["edges"].add((set_id, element))
+            if len(guess["edges"]) > guess["budget"]:
+                guess["alive"] = False
+                guess["edges"].clear()
+
+    def _process_batch(self, set_ids, elements) -> None:
+        for guess in self._guesses:
+            if not guess["alive"]:
+                continue
+            mask = guess["sampler"]._membership.contains_many(elements)
+            if not mask.any():
+                continue
+            guess["edges"].update(
+                zip(set_ids[mask].tolist(), elements[mask].tolist())
+            )
+            if len(guess["edges"]) > guess["budget"]:
+                guess["alive"] = False
+                guess["edges"].clear()
+
+    def _solve_guess(self, guess: dict) -> tuple[float, tuple[int, ...]] | None:
+        if not guess["alive"] or not guess["edges"]:
+            return None
+        system = SetSystem.from_edges(guess["edges"], n=self.n)
+        result = lazy_greedy(system, self.k)
+        if result.coverage < 4:
+            return None
+        scaled = guess["sampler"].scale_to_universe(result.coverage)
+        return min(float(self.n), scaled), result.chosen
+
+    def estimate(self) -> float:
+        """Finalise; the best scaled greedy value across guesses."""
+        self.finalize()
+        best = 0.0
+        for guess in self._guesses:
+            solved = self._solve_guess(guess)
+            if solved is not None and solved[0] > best:
+                best = solved[0]
+        return best
+
+    def solution(self) -> tuple[int, ...]:
+        """Finalise; the set ids of the best guess's greedy cover."""
+        self.finalize()
+        best: tuple[float, tuple[int, ...]] = (0.0, ())
+        for guess in self._guesses:
+            solved = self._solve_guess(guess)
+            if solved is not None and solved[0] > best[0]:
+                best = solved
+        return best[1]
+
+    def space_words(self) -> int:
+        total = 0
+        for guess in self._guesses:
+            total += 2 * len(guess["edges"])
+            total += guess["sampler"].space_words() + 2
+        return total
+
+
+class McGregorVuSetArrival(SetArrivalAlgorithm):
+    """Set-arrival ``(2+eps)``-approximate max coverage in ``O~(k/eps^3)``.
+
+    Parameters
+    ----------
+    m, n, k:
+        Instance shape and cover budget.
+    eps:
+        Accuracy parameter; the threshold ladder has ``O(log(k)/eps)``
+        rungs and the sampled universe ``O~(k/eps^3)`` elements.
+    seed:
+        Randomness for the shared element sampler.
+    """
+
+    def __init__(self, m: int, n: int, k: int, eps: float = 0.5, seed=0):
+        super().__init__()
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        self.m, self.n, self.k, self.eps = int(m), int(n), int(k), float(eps)
+        log_m = max(1.0, math.log2(max(2, m)))
+        expected = min(float(n), max(16.0, 8.0 * k * log_m / eps**3))
+        self._sampler = ElementSampler(n, expected, seed=seed, m=m)
+        self._memo: dict[int, bool] = {}
+        # One threshold-greedy lane per guess of OPT's sampled coverage.
+        p = self._sampler.probability
+        max_i = max(1, int(math.ceil(math.log2(max(2.0, n * p)))))
+        self._lanes: list[dict] = [
+            {
+                "v": 2.0**i,
+                "chosen": [],
+                "covered": set(),
+            }
+            for i in range(max_i + 1)
+        ]
+
+    def _sampled(self, elements) -> set[int]:
+        out = set()
+        for e in elements:
+            e = int(e)
+            keep = self._memo.get(e)
+            if keep is None:
+                keep = self._sampler.contains(e)
+                self._memo[e] = keep
+            if keep:
+                out.add(e)
+        return out
+
+    def _process_set(self, set_id: int, elements) -> None:
+        sampled = self._sampled(elements)
+        if not sampled:
+            return
+        for lane in self._lanes:
+            if len(lane["chosen"]) >= self.k:
+                continue
+            gain = len(sampled - lane["covered"])
+            if gain >= lane["v"] / (2.0 * self.k):
+                lane["chosen"].append(set_id)
+                lane["covered"] |= sampled
+
+    def estimate(self) -> float:
+        """Finalise; best lane's coverage scaled to the universe."""
+        self.finalize()
+        best = max(
+            (len(lane["covered"]) for lane in self._lanes), default=0
+        )
+        return min(
+            float(self.n), self._sampler.scale_to_universe(best)
+        )
+
+    def solution(self) -> tuple[int, ...]:
+        """Finalise; set ids of the best lane."""
+        self.finalize()
+        best = max(
+            self._lanes, key=lambda lane: len(lane["covered"]), default=None
+        )
+        return tuple(best["chosen"]) if best else ()
+
+    def space_words(self) -> int:
+        total = self._sampler.space_words()
+        for lane in self._lanes:
+            total += len(lane["chosen"]) + len(lane["covered"]) + 1
+        return total

@@ -1,0 +1,33 @@
+"""Benchmark harness utilities: seeded sweeps, tables, space accounting,
+and the programmatic experiment API."""
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    lower_bound_experiment,
+    regime_experiment,
+    tradeoff_experiment,
+)
+from repro.bench.harness import (
+    Aggregate,
+    fit_power_law,
+    repeat,
+    success_rate,
+    sweep,
+)
+from repro.bench.spacemeter import model_curve, space_of
+from repro.bench.tables import ResultTable
+
+__all__ = [
+    "Aggregate",
+    "repeat",
+    "sweep",
+    "fit_power_law",
+    "success_rate",
+    "ResultTable",
+    "space_of",
+    "model_curve",
+    "ExperimentResult",
+    "tradeoff_experiment",
+    "lower_bound_experiment",
+    "regime_experiment",
+]

@@ -1,0 +1,162 @@
+"""Programmatic experiment API: the key reproductions as library calls.
+
+The ``benchmarks/`` targets pin sizes and seeds for CI-style regression
+checking; this module exposes the same experiments as parameterised
+functions for notebooks, the CLI (``python -m repro experiment``), and
+users who want to rerun a claim at their own scale.  Each function
+returns an :class:`ExperimentResult`: the printable table plus the
+machine-readable summary the assertions would inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import fit_power_law
+from repro.bench.spacemeter import model_curve
+from repro.bench.tables import ResultTable
+from repro.core.oracle import Oracle
+from repro.core.parameters import Parameters
+from repro.coverage.greedy import lazy_greedy
+from repro.lowerbound.communication import run_distinguisher_experiment
+from repro.streams.edge_stream import EdgeStream
+from repro.streams.generators import planted_cover
+
+__all__ = [
+    "ExperimentResult",
+    "tradeoff_experiment",
+    "lower_bound_experiment",
+    "regime_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A rendered experiment: the table plus its raw summary values."""
+
+    table: ResultTable
+    summary: dict
+
+    def __str__(self) -> str:
+        return self.table.render()
+
+
+def tradeoff_experiment(
+    m: int = 400,
+    n: int = 800,
+    k: int = 10,
+    alphas=(2.0, 4.0, 8.0, 16.0),
+    seeds=(3, 11),
+    seed: int = 7,
+) -> ExperimentResult:
+    """E1 at a chosen scale: measured space/ratio per alpha + fitted slope."""
+    workload = planted_cover(n=n, m=m, k=k, coverage_frac=0.9, seed=seed)
+    system = workload.system
+    opt = lazy_greedy(system, k).coverage
+    arrays = EdgeStream.from_system(system, order="random", seed=1).as_arrays()
+    table = ResultTable(
+        ["alpha", "space (words)", "m/alpha^2", "estimate", "ratio"],
+        title=f"trade-off: m={m}, n={n}, k={k}, OPT~{opt}",
+    )
+    points = []
+    for alpha in alphas:
+        params = Parameters.practical(m, n, k, alpha)
+        spaces, estimates = [], []
+        for s in seeds:
+            oracle = Oracle(params, seed=s)
+            oracle.process_batch(*arrays)
+            estimates.append(oracle.estimate())
+            spaces.append(oracle.space_words())
+        space = sum(spaces) / len(spaces)
+        best = max(estimates)
+        points.append((alpha, space, best))
+        table.add_row(
+            alpha,
+            space,
+            round(model_curve(m, alpha), 2),
+            round(best, 1),
+            round(opt / max(best, 1e-9), 2),
+        )
+    exponent, constant = fit_power_law(
+        [p[0] for p in points], [p[1] for p in points]
+    )
+    table.add_row("fit", f"~alpha^{exponent:.2f}", "", "", "")
+    return ExperimentResult(
+        table,
+        {
+            "opt": opt,
+            "points": points,
+            "exponent": exponent,
+            "constant": constant,
+        },
+    )
+
+
+def lower_bound_experiment(
+    m: int = 600,
+    players: int = 8,
+    widths=(1, 4, 16, 64, 256),
+    trials: int = 12,
+    seed: int = 5,
+) -> ExperimentResult:
+    """E2 at a chosen scale: the distinguisher's phase transition."""
+    reports = run_distinguisher_experiment(
+        m, players, list(widths), trials=trials, seed=seed
+    )
+    table = ResultTable(
+        ["width", "space (words)", "accuracy"],
+        title=f"lower bound: m={m}, alpha={players}, "
+        f"m/alpha^2={m / players**2:.1f}",
+    )
+    for report in reports:
+        table.add_row(report.width, report.space_words, report.accuracy)
+    return ExperimentResult(
+        table,
+        {
+            "threshold": m / players**2,
+            "accuracies": {r.width: r.accuracy for r in reports},
+        },
+    )
+
+
+def regime_experiment(
+    m: int = 200,
+    n: int = 400,
+    k: int = 8,
+    alpha: float = 4.0,
+    seeds=(1, 2, 3),
+) -> ExperimentResult:
+    """E4-E6 at a chosen scale: the subroutine x regime success grid."""
+    from repro.streams.generators import common_heavy, few_large_sets
+
+    workloads = {
+        "many_small": planted_cover(n=n, m=m, k=k, coverage_frac=0.9, seed=41),
+        "few_large": few_large_sets(n=n, m=m, k=k, num_large=2, seed=41),
+        "common_heavy": common_heavy(n=n, m=m, k=k, beta=2.0, seed=41),
+    }
+    params = Parameters.practical(m, n, k, alpha)
+    table = ResultTable(
+        ["workload", "OPT", "best estimate", "winning subroutine"],
+        title=f"regimes: m={m}, n={n}, k={k}, alpha={alpha}",
+    )
+    summary = {}
+    for name, workload in workloads.items():
+        system = workload.system
+        opt = lazy_greedy(system, k).coverage
+        arrays = EdgeStream.from_system(
+            system, order="random", seed=5
+        ).as_arrays()
+        best_value, best_source = 0.0, "infeasible"
+        for s in seeds:
+            oracle = Oracle(params, seed=s)
+            oracle.process_batch(*arrays)
+            result = oracle.oracle_estimate()
+            if result.value > best_value:
+                best_value, best_source = result.value, result.source
+        table.add_row(name, opt, round(best_value, 1), best_source)
+        summary[name] = {
+            "opt": opt,
+            "estimate": best_value,
+            "source": best_source,
+        }
+    return ExperimentResult(table, summary)

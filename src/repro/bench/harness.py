@@ -1,0 +1,95 @@
+"""Experiment harness: seeded repetition grids with aggregate statistics.
+
+Every guarantee in the paper is "with probability at least ...", so each
+experiment runs a function over independent seeds and reports mean /
+standard deviation / min / max.  :func:`sweep` runs a one-parameter grid
+of such repetitions -- the shape of every trade-off experiment (space or
+accuracy as a function of ``alpha``, width, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Aggregate", "repeat", "sweep", "fit_power_law", "success_rate"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of repeated measurements."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        if not values:
+            raise ValueError("cannot aggregate zero measurements")
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            count=len(values),
+        )
+
+
+def repeat(
+    fn: Callable[[int], float], seeds: Iterable[int]
+) -> Aggregate:
+    """Run ``fn(seed)`` for each seed and aggregate the results."""
+    return Aggregate.of([float(fn(int(seed))) for seed in seeds])
+
+
+def sweep(
+    fn: Callable[[object, int], float],
+    grid: Sequence,
+    seeds: Iterable[int],
+) -> list[tuple[object, Aggregate]]:
+    """Run ``fn(point, seed)`` over a parameter grid x seed product."""
+    seeds = list(seeds)
+    return [
+        (point, repeat(lambda s, p=point: fn(p, s), seeds))
+        for point in grid
+    ]
+
+
+def success_rate(
+    predicate: Callable[[int], bool], seeds: Iterable[int]
+) -> float:
+    """Fraction of seeds on which ``predicate(seed)`` holds.
+
+    The empirical counterpart of the paper's "with probability at
+    least ..." statements (Theorems 3.1/3.2, Lemma 3.5, ...).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return sum(bool(predicate(int(s))) for s in seeds) / len(seeds)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit ``y ~ c * x^e`` in log-log space.
+
+    Returns ``(exponent, constant)``.  Used to verify the headline
+    ``space ~ m / alpha^2`` trend: the fitted exponent over an ``alpha``
+    sweep should be close to ``-2``.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError(
+            f"need >= 2 paired points, got {len(xs)} xs and {len(ys)} ys"
+        )
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit requires positive values")
+    log_x = np.log([float(x) for x in xs])
+    log_y = np.log([float(y) for y in ys])
+    exponent, intercept = np.polyfit(log_x, log_y, 1)
+    return float(exponent), float(math.exp(intercept))

@@ -1,0 +1,36 @@
+"""Uniform space accounting over heterogeneous algorithms.
+
+Space in this package means *machine words retained across stream
+tokens* -- the model quantity behind the paper's ``O~(m/alpha^2)``
+bounds.  Everything that matters implements ``space_words()``; these
+helpers compare measured usage against the model curves.
+"""
+
+from __future__ import annotations
+
+__all__ = ["space_of", "model_curve"]
+
+
+def space_of(*algorithms) -> int:
+    """Sum of ``space_words()`` over the given objects."""
+    total = 0
+    for algo in algorithms:
+        counter = getattr(algo, "space_words", None)
+        if counter is None:
+            raise TypeError(
+                f"{type(algo).__name__} does not expose space_words()"
+            )
+        total += int(counter())
+    return total
+
+
+def model_curve(m: int, alpha: float, k: int = 0) -> float:
+    """The paper's model bound ``m / alpha^2 + k`` (polylogs suppressed).
+
+    Benchmarks report measured space alongside this reference so that
+    the *shape* comparison (who shrinks how fast in ``alpha``) is
+    explicit even though absolute constants differ.
+    """
+    if m < 1 or alpha < 1:
+        raise ValueError(f"need m >= 1 and alpha >= 1, got {m}, {alpha}")
+    return m / alpha**2 + k

@@ -1,0 +1,40 @@
+"""The paper's contribution: streaming Max k-Cover estimation/reporting.
+
+Sections 3 and 4 plus Appendix B: universe reduction, the three-subroutine
+``(alpha, delta, eta)``-oracle, the ``EstimateMaxCover`` driver, and the
+k-cover reporting variant.
+"""
+
+from repro.core.budget import PlannedConfig, plan_alpha, project_worst_case_space
+from repro.core.estimate import EstimateMaxCover
+from repro.core.large_common import LargeCommon
+from repro.core.large_set import LargeSet, LargeSetOutcome, LargeSetRun
+from repro.core.oracle import Oracle, OracleEstimate
+from repro.core.parameters import Parameters
+from repro.core.reporting import (
+    MaxCoverReporter,
+    ReportedCover,
+    ReportingLargeCommon,
+)
+from repro.core.small_set import SmallSet, SmallSetRun
+from repro.core.universe_reduction import UniverseReducer
+
+__all__ = [
+    "Parameters",
+    "PlannedConfig",
+    "plan_alpha",
+    "project_worst_case_space",
+    "UniverseReducer",
+    "LargeCommon",
+    "LargeSet",
+    "LargeSetRun",
+    "LargeSetOutcome",
+    "SmallSet",
+    "SmallSetRun",
+    "Oracle",
+    "OracleEstimate",
+    "EstimateMaxCover",
+    "MaxCoverReporter",
+    "ReportedCover",
+    "ReportingLargeCommon",
+]

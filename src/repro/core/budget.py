@@ -1,0 +1,109 @@
+"""Space-budget planning: invert the trade-off.
+
+The paper answers "what does approximation ``alpha`` cost in space?"
+(``Theta~(m/alpha^2)``).  Deployments usually face the inverse question
+-- *given this much memory, what is the best approximation I can
+promise?* -- which Section 1 frames as "in many scenarios, space is the
+most critical factor".  :func:`plan_alpha` answers it by projecting the
+oracle's worst-case footprint over a geometric ``alpha`` grid and
+returning the smallest (= best-approximation) ``alpha`` that fits.
+
+The projection is exact for the sketch components (their size is fixed
+at construction) and worst-case for ``SmallSet``'s edge stores (each run
+is capped by its Figure 5 budget, so the cap is the bound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.oracle import Oracle
+from repro.core.parameters import Parameters
+
+__all__ = ["PlannedConfig", "project_worst_case_space", "plan_alpha"]
+
+
+@dataclass(frozen=True)
+class PlannedConfig:
+    """A feasible operating point returned by :func:`plan_alpha`.
+
+    Attributes
+    ----------
+    alpha:
+        Smallest grid approximation factor fitting the budget.
+    projected_words:
+        Worst-case space projection at that ``alpha``.
+    params:
+        The resolved parameter schedule, ready to construct an
+        :class:`~repro.core.oracle.Oracle`.
+    """
+
+    alpha: float
+    projected_words: int
+    params: Parameters
+
+
+def project_worst_case_space(params: Parameters, seed=0) -> int:
+    """Worst-case words an oracle with this schedule can ever hold.
+
+    Constructs the oracle (cheap: no stream) and adds each ``SmallSet``
+    run's storage cap -- the only component whose footprint grows during
+    the pass, and it grows at most to its cap by construction.
+    """
+    oracle = Oracle(params, seed=seed)
+    projected = oracle.space_words()
+    if oracle.small_set is not None:
+        projected += sum(2 * run.budget for run in oracle.small_set._runs)
+    return projected
+
+
+def plan_alpha(
+    m: int,
+    n: int,
+    k: int,
+    budget_words: int,
+    mode: str = "practical",
+    grid_base: float = 2.0 ** 0.5,
+    seed=0,
+) -> PlannedConfig | None:
+    """Best (smallest) feasible ``alpha`` for a word budget.
+
+    Scans ``alpha`` over a geometric grid in ``[1.5, ~sqrt(m)]`` (the
+    paper's valid range) from best approximation to worst and returns
+    the first point whose worst-case projection fits, or ``None`` when
+    even ``alpha ~ sqrt(m)`` does not fit (the budget is below the
+    problem's ``Omega~(1)`` floor).
+
+    Parameters
+    ----------
+    m, n, k:
+        Instance shape.
+    budget_words:
+        Available memory, in words.
+    mode:
+        Parameter schedule mode.
+    grid_base:
+        Geometric spacing of candidate alphas (default ``sqrt(2)``).
+    seed:
+        Seed used for the projection oracles (footprints are seed-
+        independent up to dictionary constants).
+    """
+    if budget_words < 1:
+        raise ValueError(f"budget_words must be >= 1, got {budget_words}")
+    if grid_base <= 1:
+        raise ValueError(f"grid_base must be > 1, got {grid_base}")
+    maker = Parameters.paper if mode == "paper" else Parameters.practical
+    alpha_max = max(2.0, math.sqrt(m))
+    steps = int(math.ceil(math.log(alpha_max / 1.5) / math.log(grid_base)))
+    grid = [1.5 * grid_base**i for i in range(steps + 1)]
+    for alpha in grid:
+        params = maker(m, n, k, min(alpha, alpha_max))
+        projected = project_worst_case_space(params, seed=seed)
+        if projected <= budget_words:
+            return PlannedConfig(
+                alpha=params.alpha,
+                projected_words=projected,
+                params=params,
+            )
+    return None

@@ -1,0 +1,383 @@
+"""``LargeSet``: the heavy-hitter / contributing-class subroutine
+(Section 4.2 and Appendix B).
+
+Case II of the oracle's analysis: some optimal solution draws at least
+half its coverage from ``OPT_large`` -- sets contributing at least a
+``1/(s alpha)`` fraction each (Definition 4.2), of which there are at most
+``s alpha``.  The pipeline, faithful to Figures 4, 6 and 7:
+
+1. **Random superset partition.**  A ``Theta(log mn)``-wise independent
+   hash packs the ``m`` sets into ``~ c m log m / w`` supersets of at most
+   ``w = min(alpha, k)`` sets each (Claim 4.9).  The stream then drives
+   the *superset total-size vector* ``v`` (``v[i]`` = total size of the
+   sets in superset ``i``), on which everything else operates.
+2. **Element sampling** (Appendix B, step 1).  Each parallel run first
+   subsamples elements at rate ``rho = t s alpha eta / |U|``; w.h.p. at
+   least one run's sample avoids every ``w``-common element, making the
+   size/coverage gap of a superset ``O~(1)`` (Claim 4.10) so total size is
+   a faithful coverage proxy.
+3. **Contributing classes.**  If ``OPT_large`` dominates, its supersets
+   form an ``Omega~(alpha^2/m)``-contributing class of ``F_2(v)`` of size
+   ``<= s_L alpha`` (Claim 4.11, case 1) or, when small supersets don't
+   contribute, an ``Omega~(1)``-contributing class (Claim 4.13, case 2).
+   Two ``F2-Contributing`` instances (Theorem 2.11) with class-size caps
+   ``r1 = s_L alpha`` and ``r2 = Theta~(m/w) * gamma`` find a coordinate
+   of either class in ``O~(m/alpha^2)`` and ``O~(1)`` space respectively.
+4. **Oversized contributing classes** (Appendix B, case 2b).  Capping
+   ``r2`` protects against common-element pollution, so classes larger
+   than ``r2`` are handled separately: sample ``~ log m / r2`` of the
+   supersets outright and measure each one's *coverage* with an ``L_0``
+   sketch.
+5. A reported superset with (sampled) total size ``v~`` certifies a
+   coverage estimate ``2 v~ / (3 f)`` on the sample (Lemma 4.14 / B.3),
+   and its member sets ``{S : h(S) = i*}`` are recoverable from the
+   partition hash without a second pass -- the reporting hook of
+   Theorem 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.base import StreamingAlgorithm
+from repro.core.parameters import Parameters
+from repro.sketch.contributing import F2Contributing
+from repro.sketch.element_sampling import ElementSampler
+from repro.sketch.hashing import KWiseHash, SampledSet, default_degree
+from repro.sketch.l0 import L0Sketch
+
+__all__ = ["LargeSetOutcome", "LargeSetRun", "LargeSet"]
+
+
+@dataclass(frozen=True)
+class LargeSetOutcome:
+    """A certified superset found by one ``LargeSetComplete`` run.
+
+    Attributes
+    ----------
+    value_on_sample:
+        Coverage estimate *on the run's element sample* (already divided
+        by the duplication bound ``f`` where applicable).
+    superset_id:
+        The winning superset's partition bucket; member sets are
+        ``{S : h(S) = superset_id}``.
+    case:
+        Which detection path fired: ``"contributing-small"`` (case 1),
+        ``"contributing-large"`` (case 2), or ``"sampled-l0"`` (case 2,
+        oversized class).
+    """
+
+    value_on_sample: float
+    superset_id: int
+    case: str
+
+
+class LargeSetRun(StreamingAlgorithm):
+    """One ``LargeSetComplete`` instance (Figure 6).
+
+    With ``element_sampler=None`` this is exactly ``LargeSetSimple``
+    (Figure 4): every element is inspected, which is the Section 4.2
+    simplification valid when ``U^cmn_w`` is empty.
+
+    Parameters
+    ----------
+    params:
+        Resolved parameter schedule.
+    w:
+        Superset size cap (Figure 2 passes ``k`` or ``alpha``).
+    element_sampler:
+        The run's sampled element set ``L`` (``None`` = all of ``U``).
+    seed:
+        Randomness for partition hash, contributing sketches, and the
+        superset ``L_0`` samplers.
+    """
+
+    def __init__(
+        self,
+        params: Parameters,
+        w: int | None = None,
+        element_sampler: ElementSampler | None = None,
+        seed=0,
+        l0_size: int = 32,
+    ):
+        super().__init__()
+        self.params = params
+        self.w = int(w if w is not None else params.w)
+        if self.w < 1:
+            raise ValueError(f"w must be >= 1, got {self.w}")
+        self.element_sampler = element_sampler
+        rng = np.random.default_rng(seed)
+        p = params
+        self.num_supersets = p.superset_count() * max(
+            1, int(math.ceil(p.w / self.w))
+        )
+        degree = default_degree(p.m, p.n)
+        self._partition = KWiseHash(
+            self.num_supersets, degree=degree, seed=rng.integers(0, 2**63)
+        )
+        self._partition_cache: dict[int, int] = {}
+        # Case 1: class of <= r1 supersets, phi1 = Omega~(alpha^2/m).
+        self.r1 = max(1, int(math.ceil(3.0 * p.s_alpha)))
+        self._cntr_small = F2Contributing(
+            p.phi1(), self.r1, seed=rng.integers(0, 2**63)
+        )
+        # Case 2: class of <= r2 supersets, phi2 = Omega~(1).
+        self.r2 = max(2, int(math.ceil(self.num_supersets * p.phi2())))
+        self._cntr_large = F2Contributing(
+            p.phi2(), self.r2, seed=rng.integers(0, 2**63)
+        )
+        # Case 2b: directly sample ~log(m) * |Q| / r2 supersets, measure
+        # coverage with L_0 sketches.
+        keep_rate = max(1.0, self.r2 / max(1.0, math.log2(max(2, p.m))))
+        self._superset_sampler = SampledSet(
+            keep_rate, degree=degree, seed=rng.integers(0, 2**63)
+        )
+        self._l0_seed = rng.integers(0, 2**63)
+        self._l0_size = l0_size
+        self._superset_l0: dict[int, L0Sketch] = {}
+        # Element-membership memo (speed cache, outside the space model).
+        self._element_memo: dict[int, bool] = {}
+
+    # -- stream processing -------------------------------------------------
+
+    def _process(self, set_id, element) -> None:
+        element = int(element)
+        sampler = self.element_sampler
+        if sampler is not None:
+            keep = self._element_memo.get(element)
+            if keep is None:
+                keep = sampler.contains(element)
+                self._element_memo[element] = keep
+            if not keep:
+                return
+        set_id = int(set_id)
+        sid = self._partition_cache.get(set_id)
+        if sid is None:
+            sid = self._partition(set_id)
+            self._partition_cache[set_id] = sid
+        self._cntr_small.process(sid)
+        self._cntr_large.process(sid)
+        if self._superset_sampler.contains(sid):
+            self._superset_sketch(sid).process(element)
+
+    def _superset_sketch(self, sid: int) -> L0Sketch:
+        sketch = self._superset_l0.get(sid)
+        if sketch is None:
+            sketch = L0Sketch(
+                sketch_size=self._l0_size,
+                seed=(self._l0_seed + sid) & (2**63 - 1),
+            )
+            self._superset_l0[sid] = sketch
+        return sketch
+
+    def _process_batch(self, set_ids, elements) -> None:
+        sampler = self.element_sampler
+        if sampler is not None:
+            mask = sampler._membership.contains_many(elements)
+            if not mask.any():
+                return
+            set_ids, elements = set_ids[mask], elements[mask]
+        sids = self._partition(set_ids)
+        self._cntr_small.process_batch(sids)
+        self._cntr_large.process_batch(sids)
+        ss_mask = self._superset_sampler.contains_many(sids)
+        if ss_mask.any():
+            kept_sids = sids[ss_mask]
+            kept_elems = elements[ss_mask]
+            for sid in np.unique(kept_sids):
+                self._superset_sketch(int(sid)).process_batch(
+                    kept_elems[kept_sids == sid]
+                )
+
+    # -- post-pass ----------------------------------------------------------
+
+    def sample_size(self) -> float:
+        """Expected ``|L|`` the thresholds are computed against."""
+        if self.element_sampler is None:
+            return float(self.params.n)
+        return self.element_sampler.expected_size
+
+    def thresholds(self) -> tuple[float, float]:
+        """``(thr1, thr2)`` of Figure 6: total-size cutoffs on the sample."""
+        p = self.params
+        size = self.sample_size()
+        thr1 = size / (18.0 * p.eta * p.s_alpha)
+        thr2 = size / (6.0 * p.eta * p.alpha)
+        return thr1, thr2
+
+    def outcome(self) -> LargeSetOutcome | None:
+        """Finalise; the best certified superset, or ``None`` (infeasible)."""
+        self.finalize()
+        return self.peek_outcome()
+
+    def peek_outcome(self) -> LargeSetOutcome | None:
+        """Mid-stream snapshot of :meth:`outcome` (no finalise)."""
+        p = self.params
+        thr1, thr2 = self.thresholds()
+        best: LargeSetOutcome | None = None
+
+        def consider(candidate: LargeSetOutcome) -> None:
+            nonlocal best
+            if best is None or candidate.value_on_sample > best.value_on_sample:
+                best = candidate
+
+        for coord in self._cntr_small.peek_contributing():
+            if coord.frequency >= 0.5 * thr1:
+                consider(
+                    LargeSetOutcome(
+                        2.0 * coord.frequency / (3.0 * p.f),
+                        coord.coordinate,
+                        "contributing-small",
+                    )
+                )
+        for coord in self._cntr_large.peek_contributing():
+            if coord.frequency >= 0.5 * thr2:
+                consider(
+                    LargeSetOutcome(
+                        2.0 * coord.frequency / (3.0 * p.f),
+                        coord.coordinate,
+                        "contributing-large",
+                    )
+                )
+        for sid, sketch in self._superset_l0.items():
+            val = sketch.peek_estimate()
+            if val >= 0.5 * thr2:
+                consider(
+                    LargeSetOutcome(2.0 * val / 3.0, sid, "sampled-l0")
+                )
+        return best
+
+    def superset_members(self, superset_id: int) -> list[int]:
+        """``{S : h(S) = i*}``: the k-cover recovery hook of Figure 6.
+
+        Scans set ids (not the stream), so it needs no extra pass.
+        """
+        ids = np.arange(self.params.m)
+        return [int(j) for j in ids[self._partition(ids) == superset_id]]
+
+    def space_words(self) -> int:
+        total = self._partition.space_words()
+        total += self._cntr_small.space_words()
+        total += self._cntr_large.space_words()
+        total += self._superset_sampler.space_words()
+        total += sum(s.space_words() for s in self._superset_l0.values())
+        if self.element_sampler is not None:
+            total += self.element_sampler.space_words()
+        return total
+
+
+class LargeSet(StreamingAlgorithm):
+    """``O(log n)`` parallel ``LargeSetComplete`` runs (Figure 7).
+
+    Each run draws a fresh element sample at rate
+    ``rho = t s alpha eta / |U|``; w.h.p. some run's sample avoids every
+    ``w``-common element (Theorem B.6's argument), and that run certifies
+    a superset of coverage ``Omega~(|U| / alpha)`` whenever
+    ``|C(OPT)| >= |U| / eta``.
+
+    Parameters
+    ----------
+    params:
+        Resolved parameter schedule.
+    w:
+        Superset size cap (Figure 2's third argument).
+    runs:
+        Number of parallel runs; defaults to ``ceil(log2 n)`` in paper
+        mode and 3 in practical mode.
+    seed:
+        Randomness.
+    """
+
+    def __init__(
+        self,
+        params: Parameters,
+        w: int | None = None,
+        runs: int | None = None,
+        seed=0,
+    ):
+        super().__init__()
+        self.params = params
+        if runs is None:
+            if params.mode == "paper":
+                runs = max(2, int(math.ceil(math.log2(max(2, params.n)))))
+            else:
+                runs = 3
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
+        rng = np.random.default_rng(seed)
+        self._runs: list[LargeSetRun] = []
+        for _ in range(runs):
+            sampler = ElementSampler(
+                params.n,
+                max(1.0, params.rho * params.n),
+                seed=rng.integers(0, 2**63),
+                m=params.m,
+            )
+            self._runs.append(
+                LargeSetRun(
+                    params,
+                    w=w,
+                    element_sampler=sampler,
+                    seed=rng.integers(0, 2**63),
+                )
+            )
+
+    def _process(self, set_id, element) -> None:
+        for run in self._runs:
+            run.process(set_id, element)
+
+    def _process_batch(self, set_ids, elements) -> None:
+        for run in self._runs:
+            run.process_batch(set_ids, elements)
+
+    def best_outcome(self) -> tuple[LargeSetOutcome, LargeSetRun] | None:
+        """The winning ``(outcome, run)`` across runs, scaled comparison
+        on the sample values (all runs share the same expected rate)."""
+        self.finalize()
+        for run in self._runs:
+            run.finalize()
+        return self.peek_best_outcome()
+
+    def peek_best_outcome(self) -> tuple[LargeSetOutcome, LargeSetRun] | None:
+        """Mid-stream snapshot of :meth:`best_outcome` (no finalise)."""
+        best: tuple[LargeSetOutcome, LargeSetRun] | None = None
+        for run in self._runs:
+            out = run.peek_outcome()
+            if out is None:
+                continue
+            if best is None or out.value_on_sample > best[0].value_on_sample:
+                best = (out, run)
+        return best
+
+    def estimate(self) -> float | None:
+        """Finalise; the coverage estimate at universe scale, or ``None``.
+
+        Paper mode returns the fixed certified bound
+        ``|U| / (54 f eta alpha)`` of Theorem B.6; practical mode scales
+        the winning run's sampled value back by its sampling rate, capped
+        at ``|U|``.
+        """
+        self.finalize()
+        return self.peek_estimate()
+
+    def peek_estimate(self) -> float | None:
+        """Mid-stream snapshot of :meth:`estimate` (no finalise)."""
+        best = self.peek_best_outcome()
+        if best is None:
+            return None
+        p = self.params
+        if p.mode == "paper":
+            return p.n / (54.0 * p.f * p.eta * p.alpha)
+        out, run = best
+        probability = (
+            run.element_sampler.probability
+            if run.element_sampler is not None
+            else 1.0
+        )
+        return min(float(p.n), out.value_on_sample / probability)
+
+    def space_words(self) -> int:
+        return sum(run.space_words() for run in self._runs)

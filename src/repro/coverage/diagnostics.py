@@ -1,0 +1,155 @@
+"""Structural diagnostics: the paper's case analysis, made measurable.
+
+Section 4 dispatches on structural properties of the instance and of its
+optimal solutions.  This module computes those exact quantities offline,
+so tests and benchmarks can *verify* that a workload is in the regime it
+was generated for, and users can predict which subroutine will carry
+their instance:
+
+* :func:`common_element_profile` -- ``beta -> |U^cmn_{beta k}|``
+  (Definition 2.1), the case-I trigger ``|U^cmn_{beta k}| >= sigma beta
+  |U| / alpha``.
+* :func:`contribution_profile` -- the greedy cover's marginal
+  contributions ``|O'_i|`` (Definition 4.2) and the ``OPT_large`` mass
+  ``|C(OPT_large)| / |C(OPT)|``, the case-II/III split.
+* :func:`frequency_levels` -- element counts per dyadic frequency level
+  (the ``W_i`` partition inside Lemma 4.20).
+* :func:`classify_regime` -- the Figure 2 dispatch, predicted offline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.parameters import Parameters
+from repro.coverage.greedy import lazy_greedy
+from repro.coverage.setsystem import SetSystem
+
+__all__ = [
+    "common_element_profile",
+    "ContributionProfile",
+    "contribution_profile",
+    "frequency_levels",
+    "classify_regime",
+]
+
+
+def common_element_profile(
+    system: SetSystem, k: int, betas=None
+) -> dict[float, int]:
+    """``{beta: |U^cmn_{beta k}|}`` over a dyadic ladder of ``beta``.
+
+    An element is ``beta k``-common when it appears in at least
+    ``m / (beta k)`` sets (Definition 2.1 with the polylog collapsed).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if betas is None:
+        betas = [float(2**i) for i in range(9)]
+    freq = system.element_frequencies()
+    profile = {}
+    for beta in betas:
+        threshold = system.m / (beta * k)
+        profile[beta] = sum(1 for f in freq.values() if f >= threshold)
+    return profile
+
+
+@dataclass(frozen=True)
+class ContributionProfile:
+    """Contribution structure of a (near-)optimal cover (Definition 4.2).
+
+    Attributes
+    ----------
+    contributions:
+        Marginal contributions ``|O'_i|`` in pick order (disjoint by
+        construction; they sum to the coverage).
+    coverage:
+        ``|C(OPT)|`` of the analysed cover.
+    large_threshold:
+        The ``|C(OPT)| / (s alpha)`` cutoff used.
+    large_mass:
+        Fraction of the coverage contributed by sets above the cutoff --
+        ``|C(OPT_large)| / |C(OPT)|``, the case-II/III discriminator.
+    """
+
+    contributions: tuple[int, ...]
+    coverage: int
+    large_threshold: float
+    large_mass: float
+
+
+def contribution_profile(
+    system: SetSystem, k: int, params: Parameters
+) -> ContributionProfile:
+    """Analyse the greedy cover's contribution structure.
+
+    Greedy stands in for OPT (its contribution sequence is the
+    non-increasing marginal-gain sequence), which is the certified
+    ``(1 - 1/e)`` proxy every experiment in this package uses.
+    """
+    result = lazy_greedy(system, k)
+    coverage = result.coverage
+    threshold = coverage / max(1e-9, params.s_alpha)
+    large = sum(g for g in result.gains if g >= threshold)
+    return ContributionProfile(
+        contributions=result.gains,
+        coverage=coverage,
+        large_threshold=threshold,
+        large_mass=large / coverage if coverage else 0.0,
+    )
+
+
+def frequency_levels(
+    system: SetSystem, k: int, alpha: float
+) -> dict[int, int]:
+    """Element counts per frequency level ``W_i`` (Lemma 4.20).
+
+    ``W_0`` holds elements rarer than the ``alpha k``-common threshold;
+    ``W_i`` (``i >= 1``) holds elements that are ``(alpha/2^(i-1)) k``-
+    common but not ``(alpha/2^i) k``-common.
+    """
+    if k < 1 or alpha < 1:
+        raise ValueError(f"need k >= 1 and alpha >= 1, got {k}, {alpha}")
+    freq = system.element_frequencies()
+    num_levels = max(1, int(math.ceil(math.log2(max(2.0, alpha)))))
+    thresholds = [
+        system.m / ((alpha / 2**i) * k) for i in range(num_levels + 1)
+    ]
+    levels = {i: 0 for i in range(num_levels + 1)}
+    for f in freq.values():
+        if f < thresholds[0]:
+            levels[0] += 1
+            continue
+        assigned = False
+        for i in range(1, num_levels + 1):
+            if f < thresholds[i]:
+                levels[i] += 1
+                assigned = True
+                break
+        if not assigned:
+            levels[num_levels] += 1
+    return levels
+
+
+def classify_regime(
+    system: SetSystem, k: int, alpha: float, mode: str = "practical"
+) -> str:
+    """Predict the Figure 2 case for an instance (offline oracle).
+
+    Returns ``"large_common"`` when some common-element level clears the
+    case-I trigger, else ``"large_set"`` / ``"small_set"`` by whether the
+    greedy cover's large-set mass reaches 1/2 (Definition 4.2's split).
+    """
+    maker = Parameters.paper if mode == "paper" else Parameters.practical
+    params = maker(system.m, system.n, k, alpha)
+    profile = common_element_profile(system, k)
+    for beta, count in profile.items():
+        if beta > alpha:
+            continue
+        if count >= params.sigma * beta * system.n / alpha:
+            return "large_common"
+    contrib = contribution_profile(system, k, params)
+    if contrib.large_mass >= 0.5:
+        return "large_set"
+    return "small_set"

@@ -1,0 +1,19 @@
+"""Lower-bound machinery: DSJ hard instances and protocol experiments."""
+
+from repro.lowerbound.communication import (
+    DistinguisherReport,
+    L2Distinguisher,
+    run_distinguisher_experiment,
+)
+from repro.lowerbound.disjointness import (
+    DisjointnessInstance,
+    make_disjointness_instance,
+)
+
+__all__ = [
+    "DisjointnessInstance",
+    "make_disjointness_instance",
+    "L2Distinguisher",
+    "DistinguisherReport",
+    "run_distinguisher_experiment",
+]

@@ -1,0 +1,123 @@
+"""Hard instances from ``r``-player Set Disjointness (Section 5).
+
+Theorem 3.3's ``Omega(m/alpha^2)`` lower bound reduces from the
+``alpha``-player Set Disjointness problem with the *unique intersection*
+promise [16]: each player ``i`` holds ``T_i subseteq [m]``, and either
+
+* **Yes case** -- all ``T_i`` are pairwise disjoint, or
+* **No case** -- there is exactly one item ``j*`` in every ``T_i`` (and
+  the sets are otherwise disjoint).
+
+The reduction builds a Max 1-Cover instance with one *element* ``e_i``
+per player and one *set* ``S_j`` per item, streaming ``(S_j, e_i)`` for
+every ``j in T_i`` -- in player order, which is precisely the one-way
+communication order.  Claims 5.3/5.4: the optimal 1-cover covers all
+``alpha`` elements in the No case (the common item's set) but a single
+element in the Yes case, so any ``(alpha - eps)``-approximation of the
+coverage distinguishes the cases and inherits DSJ's ``Omega(m/alpha)``
+communication bound, i.e. ``Omega(m/alpha^2)`` space per player.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.edge_stream import EdgeStream
+
+__all__ = ["DisjointnessInstance", "make_disjointness_instance"]
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """A DSJ-derived Max 1-Cover hard instance.
+
+    Attributes
+    ----------
+    stream:
+        The reduction's edge stream, in player (one-way protocol) order.
+    m:
+        Number of items = number of sets in the cover instance.
+    players:
+        Number of players ``r = alpha`` = number of elements.
+    is_no_case:
+        True when a unique common item was planted (``OPT = players``);
+        False for the disjoint case (``OPT = 1``).
+    common_item:
+        The planted item ``j*`` in the No case, else ``-1``.
+    """
+
+    stream: EdgeStream
+    m: int
+    players: int
+    is_no_case: bool
+    common_item: int
+
+    @property
+    def optimal_coverage(self) -> int:
+        """Ground-truth ``|C(OPT)|`` for ``k = 1`` (Claims 5.3/5.4)."""
+        return self.players if self.is_no_case else 1
+
+
+def make_disjointness_instance(
+    m: int,
+    players: int,
+    no_case: bool,
+    per_player_items: int | None = None,
+    seed=0,
+) -> DisjointnessInstance:
+    """Sample a promise-respecting DSJ instance and apply the reduction.
+
+    Parameters
+    ----------
+    m:
+        Item universe size (= number of sets downstream).
+    players:
+        ``r = alpha``, the approximation factor being stressed.
+    no_case:
+        Plant a unique common item (``True``) or keep sets disjoint.
+    per_player_items:
+        Items per player's set (excluding the planted one); defaults to
+        ``floor(m / (2 * players))`` so disjointness is satisfiable.
+    seed:
+        Randomness for item assignment.
+
+    Notes
+    -----
+    The private items are a random partition chunk per player, so both
+    cases have identical per-player set sizes and marginal distributions
+    -- the streaming algorithm cannot cheat by counting degrees.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if players < 2:
+        raise ValueError(f"players must be >= 2, got {players}")
+    if per_player_items is None:
+        per_player_items = max(1, m // (2 * players))
+    if players * per_player_items + 1 > m:
+        raise ValueError(
+            f"cannot fit {players} disjoint sets of {per_player_items} "
+            f"items plus a spare in a universe of {m}"
+        )
+    rng = np.random.default_rng(seed)
+    permuted = rng.permutation(m)
+    common_item = int(permuted[0]) if no_case else -1
+    pool = permuted[1:]
+    edges: list[tuple[int, int]] = []
+    for i in range(players):
+        start = i * per_player_items
+        items = [int(j) for j in pool[start : start + per_player_items]]
+        if no_case:
+            items.append(common_item)
+        rng.shuffle(items)
+        for j in items:
+            edges.append((j, i))  # set S_j covers element e_i
+    stream = EdgeStream(edges, m=m, n=players)
+    return DisjointnessInstance(
+        stream=stream,
+        m=m,
+        players=players,
+        is_no_case=no_case,
+        common_item=common_item,
+    )

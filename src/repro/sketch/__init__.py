@@ -1,0 +1,48 @@
+"""Vector-sketching substrate (Section 2 of the paper).
+
+Everything the paper's max-coverage oracles consume: limited-independence
+hashing (Appendix A), ``L_0``/distinct-elements estimation (Theorem 2.12),
+``F_2`` estimation, ``F_2`` heavy hitters (Theorem 2.10), contributing
+classes (Theorem 2.11), and the set/element sampling lemmas (2.3, 2.5).
+"""
+
+from repro.sketch.contributing import ContributingCoordinate, F2Contributing
+from repro.sketch.countsketch import CountSketch, F2HeavyHitter
+from repro.sketch.element_sampling import ElementSampler, element_sample_size
+from repro.sketch.f2 import F2Sketch
+from repro.sketch.hashing import (
+    MERSENNE_P,
+    KWiseHash,
+    SampledSet,
+    SignHash,
+    default_degree,
+)
+from repro.sketch.hyperloglog import HyperLogLog
+from repro.sketch.l0 import L0Sketch
+from repro.sketch.l0_sampling import L0Sampler
+from repro.sketch.serialize import load_sketch, save_sketch
+from repro.sketch.set_sampling import SetSampler, common_element_threshold
+from repro.sketch.tabulation import TabulationHash
+
+__all__ = [
+    "MERSENNE_P",
+    "KWiseHash",
+    "TabulationHash",
+    "SignHash",
+    "SampledSet",
+    "default_degree",
+    "L0Sketch",
+    "L0Sampler",
+    "HyperLogLog",
+    "F2Sketch",
+    "CountSketch",
+    "F2HeavyHitter",
+    "F2Contributing",
+    "ContributingCoordinate",
+    "SetSampler",
+    "common_element_threshold",
+    "ElementSampler",
+    "element_sample_size",
+    "save_sketch",
+    "load_sketch",
+]

@@ -1,0 +1,156 @@
+"""``F_2``-Contributing: find a coordinate in every contributing class.
+
+Implements Theorem 2.11 of the paper (after Indyk--Woodruff [29]).  The
+coordinates of a frequency vector ``a`` are conceptually partitioned into
+dyadic classes ``R_i = {j : 2^(i-1) < a[j] <= 2^i}``; a class ``R_t`` is
+*gamma-contributing* when ``|R_t| * 2^(2t) >= gamma * F_2(a)``
+(Definition 2.7).  The algorithm must output at least one coordinate from
+every gamma-contributing class, with a ``(1 +/- 1/2)``-approximate
+frequency, in ``O~(1/gamma)`` space.
+
+Construction (the paper's ``F2-Contributing(gamma, r)`` pseudocode): for
+each guess ``n_t = 2^i`` of a contributing class's size, subsample the
+coordinate domain at rate ``Theta(log m) / 2^i`` with a
+``Theta(log mn)``-wise independent hash, so ``Theta(log m)`` class members
+survive; by Lemma 2.9 each survivor is an ``Omega~(gamma)``-heavy hitter
+of the sampled substream, so a :class:`~repro.sketch.countsketch.F2HeavyHitter`
+run on the substream finds it.  Because every update to a coordinate
+survives or dies together, a survivor's frequency in the substream equals
+its true frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.base import StreamingAlgorithm
+from repro.sketch.countsketch import F2HeavyHitter
+from repro.sketch.hashing import SampledSet
+
+__all__ = ["ContributingCoordinate", "F2Contributing"]
+
+
+@dataclass(frozen=True)
+class ContributingCoordinate:
+    """A coordinate reported by :class:`F2Contributing`.
+
+    Attributes
+    ----------
+    coordinate:
+        The coordinate's index in the domain.
+    frequency:
+        ``(1 +/- 1/2)``-approximate frequency of the coordinate.
+    level:
+        Subsampling level ``i`` (class-size guess ``2^i``) that found it.
+    """
+
+    coordinate: int
+    frequency: float
+    level: int
+
+
+class F2Contributing(StreamingAlgorithm):
+    """Single-pass detector of gamma-contributing classes (Theorem 2.11).
+
+    Parameters
+    ----------
+    gamma:
+        Contribution threshold as a fraction of ``F_2``.
+    max_class_size:
+        The paper's ``r``: only classes with at most ``r`` coordinates are
+        sought, giving ``log r`` subsampling levels.  ``LargeSetComplete``
+        exploits this cap to keep common elements from polluting the
+        output (Remark 4.12).
+    seed:
+        Randomness for subsampling hashes and sketches.
+    phi_scale:
+        Heavy-hitter threshold is ``gamma / phi_scale``; the paper uses a
+        ``polylog(m, n)`` scale (``432 log n log^{c+1} m``), we default to
+        a practical constant.
+    survivors:
+        Target number of class members surviving subsampling per level
+        (``Theta(log m)`` in the paper).
+    """
+
+    def __init__(
+        self,
+        gamma: float,
+        max_class_size: int,
+        seed=0,
+        phi_scale: float = 8.0,
+        survivors: int = 8,
+        depth: int = 4,
+    ):
+        super().__init__()
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        if max_class_size < 1:
+            raise ValueError(
+                f"max_class_size must be >= 1, got {max_class_size}"
+            )
+        self.gamma = float(gamma)
+        self.max_class_size = int(max_class_size)
+        self.num_levels = int(np.ceil(np.log2(max(2, max_class_size)))) + 1
+        phi = min(1.0, gamma / phi_scale)
+        rng = np.random.default_rng(seed)
+        self._samplers: list[SampledSet] = []
+        self._sketches: list[F2HeavyHitter] = []
+        for level in range(self.num_levels):
+            rate = max(1.0, (1 << level) / survivors)
+            self._samplers.append(
+                SampledSet(rate, seed=rng.integers(0, 2**63))
+            )
+            self._sketches.append(
+                F2HeavyHitter(
+                    phi, depth=depth, seed=rng.integers(0, 2**63)
+                )
+            )
+
+    def _process(self, item, count: int = 1) -> None:
+        item = int(item)
+        for level in range(self.num_levels):
+            if self._samplers[level].contains(item):
+                self._sketches[level].process(item, count)
+
+    def _process_batch(self, items: np.ndarray) -> None:
+        for level in range(self.num_levels):
+            mask = self._samplers[level].contains_many(items)
+            survivors = items[mask]
+            if len(survivors):
+                self._sketches[level].process_batch(survivors)
+
+    def contributing(self) -> list[ContributingCoordinate]:
+        """Finalise and return one-or-more coordinates per contributing class.
+
+        The output may contain several coordinates of the same class and
+        coordinates of non-contributing classes (callers filter against
+        their own thresholds, as in ``LargeSetComplete``); the guarantee
+        is that w.h.p. *every* gamma-contributing class of size at most
+        ``max_class_size`` is represented.
+        """
+        self.finalize()
+        return self.peek_contributing()
+
+    def peek_contributing(self) -> list[ContributingCoordinate]:
+        """Mid-stream snapshot of :meth:`contributing` (no finalise)."""
+        best: dict[int, ContributingCoordinate] = {}
+        for level, sketch in enumerate(self._sketches):
+            for coordinate, frequency in sketch.peek_heavy_hitters().items():
+                known = best.get(coordinate)
+                if known is None or frequency > known.frequency:
+                    best[coordinate] = ContributingCoordinate(
+                        coordinate=coordinate,
+                        frequency=frequency,
+                        level=level,
+                    )
+        return sorted(
+            best.values(), key=lambda c: c.frequency, reverse=True
+        )
+
+    def space_words(self) -> int:
+        total = 0
+        for sampler, sketch in zip(self._samplers, self._sketches):
+            total += sampler.space_words() + sketch.space_words()
+        return total

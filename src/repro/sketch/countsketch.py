@@ -1,0 +1,267 @@
+"""CountSketch and the ``F_2`` heavy-hitters algorithm (Theorem 2.10).
+
+The paper's ``LargeSet`` subroutine needs, per Theorem 2.10 [14, 15, 18,
+39], a single-pass algorithm that returns every coordinate ``i`` with
+``a[i]^2 >= phi * F_2(a)`` together with a ``(1 +/- 1/2)``-approximate
+frequency, in ``O~(1/phi)`` space.  We implement the standard recipe:
+
+* :class:`CountSketch` -- Charikar--Chen--Farach-Colton: ``depth`` rows of
+  ``width`` counters, each row pairing a 4-wise bucket hash with a 4-wise
+  sign hash.  ``query(i)`` medians the signed counters; the per-row error
+  is ``sqrt(F_2 / width)`` with constant probability.
+* :class:`F2HeavyHitter` -- wraps a CountSketch and tracks a bounded pool
+  of candidate items online (the classic heap-based construction for
+  insertion streams), plus a row-norm ``F_2`` estimate.  ``heavy_hitters``
+  returns candidates whose estimated frequency clears
+  ``sqrt(phi * F_2-estimate)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import StreamingAlgorithm
+from repro.sketch.hashing import KWiseHash, SignHash
+
+__all__ = ["CountSketch", "F2HeavyHitter"]
+
+
+class CountSketch(StreamingAlgorithm):
+    """Charikar--Chen--Farach-Colton frequency sketch.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; per-row additive error is ``sqrt(F_2 / width)``.
+    depth:
+        Number of rows median-combined (failure probability
+        ``exp(-Omega(depth))`` per query).
+    seed:
+        Randomness for the bucket and sign hashes.
+    """
+
+    def __init__(self, width: int = 256, depth: int = 5, seed=0):
+        super().__init__()
+        if width < 1 or depth < 1:
+            raise ValueError(
+                f"width and depth must be >= 1, got {width}, {depth}"
+            )
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._bucket_hashes = [
+            KWiseHash(self.width, degree=4, seed=rng.integers(0, 2**63))
+            for _ in range(self.depth)
+        ]
+        self._sign_hashes = [
+            SignHash(seed=rng.integers(0, 2**63)) for _ in range(self.depth)
+        ]
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+
+    def _process(self, item, count: int = 1) -> None:
+        self.update(int(item), count)
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Add ``count`` to coordinate ``item`` (internal, unchecked)."""
+        table = self._table
+        for row in range(self.depth):
+            bucket = self._bucket_hashes[row](item)
+            table[row, bucket] += self._sign_hashes[row](item) * count
+
+    def _process_batch(self, items: np.ndarray) -> None:
+        self.update_batch(items)
+
+    def update_batch(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Vectorised updates; exactly equivalent to scalar updates.
+
+        CountSketch is linear, so scatter-adding a whole batch per row
+        (``np.add.at``) produces the identical table.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if counts is None:
+            counts = np.ones(len(items), dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        # Deduplicate so the per-row hash work is proportional to the
+        # number of distinct items, not batch length.
+        unique, inverse = np.unique(items, return_inverse=True)
+        sums = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(sums, inverse, counts)
+        for row in range(self.depth):
+            buckets = self._bucket_hashes[row](unique)
+            signs = self._sign_hashes[row](unique)
+            np.add.at(self._table[row], buckets, signs * sums)
+
+    def query(self, item: int) -> float:
+        """Median-of-rows estimate of coordinate ``item``'s frequency."""
+        item = int(item)
+        estimates = [
+            self._sign_hashes[row](item)
+            * self._table[row, self._bucket_hashes[row](item)]
+            for row in range(self.depth)
+        ]
+        return float(np.median(estimates))
+
+    def f2_estimate(self) -> float:
+        """Median over rows of the row's squared norm: an ``F_2`` estimate.
+
+        Each row's ``sum_b table[row][b]^2`` is exactly the AMS estimator
+        with ``width`` buckets, so the median over rows is a constant
+        factor approximation of ``F_2`` -- all Theorem 2.10 needs.
+        """
+        squares = self._table.astype(np.float64) ** 2
+        return float(np.median(squares.sum(axis=1)))
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Absorb another sketch built with the same seed and shape.
+
+        CountSketch tables are linear in the stream: adding sharded
+        tables reproduces the single-stream sketch exactly.
+        """
+        if not isinstance(other, CountSketch):
+            raise TypeError(
+                f"cannot merge CountSketch with {type(other).__name__}"
+            )
+        if (
+            other.width != self.width
+            or other.depth != self.depth
+            or other.seed != self.seed
+        ):
+            raise ValueError(
+                "can only merge CountSketch tables with identical seed "
+                "and shape"
+            )
+        self._table += other._table
+        return self
+
+    def space_words(self) -> int:
+        hashes = sum(h.space_words() for h in self._bucket_hashes)
+        hashes += sum(h.space_words() for h in self._sign_hashes)
+        return self.depth * self.width + hashes
+
+
+class F2HeavyHitter(StreamingAlgorithm):
+    """Single-pass ``phi``-heavy-hitters over ``F_2`` (Theorem 2.10).
+
+    Returns every coordinate with ``a[i]^2 >= phi * F_2(a)`` (with high
+    probability) along with a ``(1 +/- 1/2)``-approximate frequency, using
+    ``O~(1/phi)`` space.
+
+    Parameters
+    ----------
+    phi:
+        Heaviness threshold (a fraction of ``F_2``).
+    depth:
+        CountSketch depth.
+    seed:
+        Randomness for the sketch.
+    slack:
+        Report margin: candidates are returned when their estimate clears
+        ``sqrt(phi * F_2) * slack``.  The default ``0.5`` errs towards
+        recall, matching how the paper's callers use the output (they
+        re-validate against explicit thresholds).
+    """
+
+    def __init__(self, phi: float, depth: int = 5, seed=0, slack: float = 0.5):
+        super().__init__()
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        self.phi = float(phi)
+        self.slack = float(slack)
+        self.seed = seed
+        # Width O(1/phi) makes a phi-heavy coordinate dominate its bucket.
+        width = max(8, int(np.ceil(8.0 / phi)))
+        self._sketch = CountSketch(width=width, depth=depth, seed=seed)
+        self.capacity = max(4, int(np.ceil(4.0 / phi)))
+        self._candidates: dict[int, float] = {}
+
+    def _process(self, item, count: int = 1) -> None:
+        item = int(item)
+        self._sketch.update(item, count)
+        # Candidate tracking via exact running counts: on insertion-only
+        # streams an item's substream frequency is just its arrival count,
+        # so a capped counter dict replaces the textbook query-per-update
+        # (the CountSketch still provides the final (1 +/- 1/2) estimates
+        # in heavy_hitters()).
+        self._candidates[item] = self._candidates.get(item, 0) + count
+        if len(self._candidates) > 2 * self.capacity:
+            self._prune()
+
+    def _process_batch(self, items: np.ndarray) -> None:
+        """Vectorised kernel.
+
+        The CountSketch table is identical to the scalar path (it is
+        linear); the candidate pool sees per-batch rather than per-token
+        pruning, which can only *improve* recall (candidates accumulate
+        a whole batch of exact counts before any eviction).
+        """
+        self._sketch.update_batch(items)
+        unique, counts = np.unique(items, return_counts=True)
+        candidates = self._candidates
+        for item, count in zip(unique, counts):
+            item = int(item)
+            candidates[item] = candidates.get(item, 0) + int(count)
+        if len(candidates) > 2 * self.capacity:
+            self._prune()
+
+    def _prune(self) -> None:
+        """Keep only the ``capacity`` largest current candidates."""
+        top = sorted(
+            self._candidates.items(), key=lambda kv: kv[1], reverse=True
+        )[: self.capacity]
+        self._candidates = dict(top)
+
+    def heavy_hitters(self) -> dict[int, float]:
+        """Finalise and return ``{coordinate: approximate frequency}``.
+
+        Contains every ``phi``-heavy coordinate w.h.p.; may contain items
+        somewhat below the threshold (callers re-check their own bounds).
+        """
+        self.finalize()
+        return self.peek_heavy_hitters()
+
+    def peek_heavy_hitters(self) -> dict[int, float]:
+        """Mid-stream snapshot of :meth:`heavy_hitters` (no finalise).
+
+        A monitoring hook: the single-pass contract is unaffected, the
+        pass may continue afterwards.
+        """
+        f2 = self._sketch.f2_estimate()
+        if f2 <= 0:
+            return {}
+        threshold = self.slack * np.sqrt(self.phi * f2)
+        result = {}
+        for item in self._candidates:
+            estimate = self._sketch.query(item)
+            if estimate >= threshold:
+                result[item] = estimate
+        return result
+
+    def merge(self, other: "F2HeavyHitter") -> "F2HeavyHitter":
+        """Absorb another heavy-hitter instance (same seed and phi).
+
+        The underlying CountSketch merges exactly; candidate counts add
+        (they are exact per-shard arrival counts), then the pool is
+        re-pruned to capacity.
+        """
+        if not isinstance(other, F2HeavyHitter):
+            raise TypeError(
+                f"cannot merge F2HeavyHitter with {type(other).__name__}"
+            )
+        if other.phi != self.phi or other.seed != self.seed:
+            raise ValueError(
+                "can only merge heavy-hitter sketches with identical "
+                "seed and phi"
+            )
+        self._sketch.merge(other._sketch)
+        for item, count in other._candidates.items():
+            self._candidates[item] = self._candidates.get(item, 0) + count
+        if len(self._candidates) > 2 * self.capacity:
+            self._prune()
+        return self
+
+    def space_words(self) -> int:
+        return self._sketch.space_words() + 2 * self.capacity + 2

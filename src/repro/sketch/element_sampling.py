@@ -1,0 +1,83 @@
+"""Element sampling for Max k-Cover (Lemma 2.5).
+
+*Element sampling* is the second classic sampling tool [21, 33]: if an
+optimal ``k``-cover covers a ``1/eta`` fraction of the universe, then a
+uniform sample ``L`` of ``Theta~(eta * k)`` elements preserves it -- a
+constant-factor approximate ``k``-cover of the induced instance
+``(L, F)`` is, w.h.p., a constant-factor approximate ``k``-cover of the
+original instance (Lemma 2.5).
+
+:class:`ElementSampler` draws the sample with a ``Theta(log mn)``-wise
+independent hash (so it costs ``O(log mn)`` words, not ``|L|``), answers
+membership during the pass, and converts coverage measured on the sample
+back to the universe scale.
+"""
+
+from __future__ import annotations
+
+from repro.sketch.hashing import SampledSet, default_degree
+
+__all__ = ["ElementSampler", "element_sample_size"]
+
+
+def element_sample_size(k: int, eta: float, scale: float = 4.0) -> int:
+    """The paper's ``Theta~(eta k)`` sample size for Lemma 2.5.
+
+    ``scale`` stands in for the suppressed polylog factor.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if eta < 1:
+        raise ValueError(f"eta must be >= 1, got {eta}")
+    return max(1, int(round(scale * eta * k)))
+
+
+class ElementSampler:
+    """Pseudorandom sample of elements at rate ``expected_size / n``.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    expected_size:
+        Expected number of sampled elements (``Theta~(eta k)`` per
+        Lemma 2.5, or ``rho * n`` for ``LargeSet``'s rate-based use).
+    seed:
+        Randomness for the hash function.
+    m:
+        Family size, used only to pick the independence degree.
+    """
+
+    def __init__(self, n: int, expected_size: float, seed=0, m: int | None = None):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if expected_size <= 0:
+            raise ValueError(
+                f"expected_size must be positive, got {expected_size}"
+            )
+        self.n = int(n)
+        self.expected_size = float(min(expected_size, n))
+        degree = default_degree(m if m is not None else n, n)
+        rate = self.n / self.expected_size
+        self._membership = SampledSet(rate, degree=degree, seed=seed)
+
+    @property
+    def probability(self) -> float:
+        """Per-element inclusion probability."""
+        return self._membership.probability
+
+    def contains(self, element: int) -> bool:
+        """Whether ``element`` belongs to the sample."""
+        return self._membership.contains(element)
+
+    def scale_to_universe(self, sampled_coverage: float) -> float:
+        """Convert coverage counted on the sample to universe scale.
+
+        A collection covering ``c`` sampled elements covers about
+        ``c / probability`` universe elements, by the concentration
+        argument inside Lemma 2.5.
+        """
+        return sampled_coverage / self.probability
+
+    def space_words(self) -> int:
+        return self._membership.space_words()

@@ -1,0 +1,82 @@
+"""L0-sampling: draw a (near-)uniform nonzero coordinate of a stream vector.
+
+The paper situates its algorithms inside the vector-sketching toolkit and
+points at the ``L_p``-sampling/estimation literature as the bridge to
+graph streaming (Section 1, "Our techniques").  An ``L_0``-sampler --
+return a uniformly random *distinct* element of an insertion stream in
+``O~(1)`` space -- is the simplest member of that family and a natural
+companion to :class:`~repro.sketch.l0.L0Sketch`; downstream users of this
+package use it to audit coverage compositions (sample a covered element,
+check which sets claim it).
+
+Construction (insertion-only streams): hash each item to ``[0, 1)`` with
+a ``Theta(log mn)``-wise independent hash and keep the item with the
+smallest hash value.  Conditioned on the hash being collision-free on the
+distinct items (w.h.p. over a ``2^61``-point range), the minimum is
+uniform among them.  Keeping the ``k`` smallest yields ``k`` near-uniform
+samples without replacement -- and doubles as the KMV estimator, so the
+sampler also reports the distinct count.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.base import StreamingAlgorithm
+from repro.sketch.hashing import MERSENNE_P, KWiseHash
+
+__all__ = ["L0Sampler"]
+
+
+class L0Sampler(StreamingAlgorithm):
+    """Uniform sampling of distinct stream items, without replacement.
+
+    Parameters
+    ----------
+    samples:
+        Number of distinct items to return (the ``k`` smallest hash
+        values are kept).
+    degree:
+        Independence degree of the hash.
+    seed:
+        Randomness for the hash.
+    """
+
+    def __init__(self, samples: int = 1, degree: int = 16, seed=0):
+        super().__init__()
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self.samples = int(samples)
+        self._hash = KWiseHash(MERSENNE_P, degree=degree, seed=seed)
+        # Max-heap of (-hash, item); members tracks hashes for dedup.
+        self._heap: list[tuple[int, int]] = []
+        self._members: set[int] = set()
+
+    def _process(self, item) -> None:
+        item = int(item)
+        hv = self._hash(item)
+        if hv in self._members:
+            return
+        if len(self._heap) < self.samples:
+            self._members.add(hv)
+            heapq.heappush(self._heap, (-hv, item))
+        elif hv < -self._heap[0][0]:
+            self._members.add(hv)
+            evicted = heapq.heappushpop(self._heap, (-hv, item))
+            self._members.discard(-evicted[0])
+
+    def sample(self) -> list[int]:
+        """Finalise; the sampled distinct items (ascending hash order)."""
+        self.finalize()
+        return [item for _neg, item in sorted(self._heap, reverse=True)]
+
+    def distinct_estimate(self) -> float:
+        """KMV distinct-count estimate from the same synopsis."""
+        self.finalize()
+        if len(self._heap) < self.samples:
+            return float(len(self._heap))
+        v_k = (-self._heap[0][0]) / MERSENNE_P
+        return (self.samples - 1) / v_k
+
+    def space_words(self) -> int:
+        return 2 * len(self._heap) + self._hash.space_words() + 1

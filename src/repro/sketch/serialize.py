@@ -1,0 +1,158 @@
+"""Sketch checkpointing: save/restore sketch state across processes.
+
+Linear sketches are the unit of distribution: shards build sketches
+independently, persist them, and a coordinator loads and merges.  This
+module serialises the four mergeable sketches to ``.npz`` files --
+constructor parameters plus state arrays, no pickling of code -- so
+checkpoints are portable across Python versions and safe to load from
+untrusted-ish storage (only numeric arrays are read).
+
+Round-trip contract: ``load_sketch(path)`` returns a sketch whose
+estimates, queries, and merge behaviour are identical to the saved one;
+the restored sketch can continue its pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.f2 import F2Sketch
+from repro.sketch.hyperloglog import HyperLogLog
+from repro.sketch.l0 import L0Sketch
+
+__all__ = ["save_sketch", "load_sketch"]
+
+
+def _l0_state(sketch: L0Sketch) -> dict:
+    return {
+        "kind": "l0",
+        "sketch_size": sketch.sketch_size,
+        "degree": sketch._hash.degree,
+        "seed": int(sketch.seed),
+        "heap": np.asarray(sorted(sketch._heap), dtype=np.int64),
+        "tokens": sketch.tokens_seen,
+    }
+
+
+def _l0_restore(data) -> L0Sketch:
+    sketch = L0Sketch(
+        sketch_size=int(data["sketch_size"]),
+        degree=int(data["degree"]),
+        seed=int(data["seed"]),
+    )
+    heap = [int(v) for v in data["heap"]]
+    sketch._heap = list(heap)
+    import heapq
+
+    heapq.heapify(sketch._heap)
+    sketch._members = {-v for v in heap}
+    sketch._tokens_seen = int(data["tokens"])
+    return sketch
+
+
+def _f2_state(sketch: F2Sketch) -> dict:
+    return {
+        "kind": "f2",
+        "means": sketch.means,
+        "medians": sketch.medians,
+        "seed": int(sketch.seed),
+        "counters": sketch._counters,
+        "tokens": sketch.tokens_seen,
+    }
+
+
+def _f2_restore(data) -> F2Sketch:
+    sketch = F2Sketch(
+        means=int(data["means"]),
+        medians=int(data["medians"]),
+        seed=int(data["seed"]),
+    )
+    sketch._counters = np.asarray(data["counters"], dtype=np.int64).copy()
+    sketch._tokens_seen = int(data["tokens"])
+    return sketch
+
+
+def _cs_state(sketch: CountSketch) -> dict:
+    return {
+        "kind": "countsketch",
+        "width": sketch.width,
+        "depth": sketch.depth,
+        "seed": int(sketch.seed),
+        "table": sketch._table,
+        "tokens": sketch.tokens_seen,
+    }
+
+
+def _cs_restore(data) -> CountSketch:
+    sketch = CountSketch(
+        width=int(data["width"]),
+        depth=int(data["depth"]),
+        seed=int(data["seed"]),
+    )
+    sketch._table = np.asarray(data["table"], dtype=np.int64).copy()
+    sketch._tokens_seen = int(data["tokens"])
+    return sketch
+
+
+def _hll_state(sketch: HyperLogLog) -> dict:
+    return {
+        "kind": "hyperloglog",
+        "precision": sketch.precision,
+        "seed": int(sketch.seed),
+        "registers": sketch._registers,
+        "tokens": sketch.tokens_seen,
+    }
+
+
+def _hll_restore(data) -> HyperLogLog:
+    sketch = HyperLogLog(
+        precision=int(data["precision"]), seed=int(data["seed"])
+    )
+    sketch._registers = np.asarray(data["registers"], dtype=np.int8).copy()
+    sketch._tokens_seen = int(data["tokens"])
+    return sketch
+
+
+_SAVERS = {
+    L0Sketch: _l0_state,
+    F2Sketch: _f2_state,
+    CountSketch: _cs_state,
+    HyperLogLog: _hll_state,
+}
+
+_LOADERS = {
+    "l0": _l0_restore,
+    "f2": _f2_restore,
+    "countsketch": _cs_restore,
+    "hyperloglog": _hll_restore,
+}
+
+
+def save_sketch(sketch, path) -> None:
+    """Persist a sketch's state to an ``.npz`` file.
+
+    Supported types: :class:`L0Sketch`, :class:`F2Sketch`,
+    :class:`CountSketch`, :class:`HyperLogLog`.  Raises
+    :class:`TypeError` for anything else (composite algorithms should
+    checkpoint their own parts).
+    """
+    saver = _SAVERS.get(type(sketch))
+    if saver is None:
+        raise TypeError(
+            f"cannot serialise {type(sketch).__name__}; supported: "
+            f"{sorted(cls.__name__ for cls in _SAVERS)}"
+        )
+    state = saver(sketch)
+    kind = state.pop("kind")
+    np.savez(path, kind=np.bytes_(kind.encode()), **state)
+
+
+def load_sketch(path):
+    """Load a sketch previously written by :func:`save_sketch`."""
+    with np.load(path) as data:
+        kind = bytes(data["kind"]).decode()
+        loader = _LOADERS.get(kind)
+        if loader is None:
+            raise ValueError(f"unknown sketch kind {kind!r} in {path}")
+        return loader(data)

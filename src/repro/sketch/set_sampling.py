@@ -1,0 +1,92 @@
+"""Set sampling with limited independence (Lemma 2.3 and Appendix A.1).
+
+*Set sampling* is one of the two classic sampling tools for streaming
+coverage problems: pick each set of the family independently with
+probability ``lambda / m``; then with high probability the sampled
+collection covers every *lambda-common* element -- an element appearing
+in ``Omega~(m / lambda)`` sets (Definition 2.1, Lemma 2.3).
+
+Appendix A.1 shows ``Theta(log(mn))`` random bits suffice: draw ``h`` from
+a ``Theta(log mn)``-wise independent family ``F -> [c m log m / gamma]``
+and keep the sets with ``h(S) = 1``; then w.h.p. the sample has at most
+``gamma`` sets (Lemma A.5) and covers ``U^cmn_gamma`` (Lemma A.6).
+
+:class:`SetSampler` packages that construction.  It never materialises the
+sample -- membership is answered from the hash -- so its space is the hash
+coefficients, exactly the point of Lemma A.7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.hashing import SampledSet, default_degree
+
+__all__ = ["SetSampler", "common_element_threshold"]
+
+
+def common_element_threshold(m: int, lam: float, scale: float = 1.0) -> float:
+    """Frequency above which an element is *lambda-common* (Definition 2.1).
+
+    An element is ``lambda``-common when it appears in at least
+    ``c * m * polylog(m, n) / lambda`` sets; with the practical ``scale``
+    standing in for ``c * polylog``, the threshold is ``scale * m / lam``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if lam <= 0:
+        raise ValueError(f"lam must be positive, got {lam}")
+    return scale * m / lam
+
+
+class SetSampler:
+    """Pseudorandom sample of sets at rate ``expected_size / m``.
+
+    Parameters
+    ----------
+    m:
+        Number of sets in the family.
+    expected_size:
+        Expected number of sampled sets (the paper's ``gamma``, e.g.
+        ``beta * k`` in ``LargeCommon``).
+    seed:
+        Randomness for the hash function.
+    n:
+        Universe size, used only to pick the independence degree
+        ``Theta(log(mn))``.
+    """
+
+    def __init__(self, m: int, expected_size: float, seed=0, n: int | None = None):
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if expected_size <= 0:
+            raise ValueError(
+                f"expected_size must be positive, got {expected_size}"
+            )
+        self.m = int(m)
+        self.expected_size = float(min(expected_size, m))
+        degree = default_degree(m, n if n is not None else m)
+        rate = self.m / self.expected_size
+        self._membership = SampledSet(rate, degree=degree, seed=seed)
+
+    @property
+    def probability(self) -> float:
+        """Per-set inclusion probability."""
+        return self._membership.probability
+
+    def contains(self, set_id: int) -> bool:
+        """Whether ``set_id`` belongs to the sample."""
+        return self._membership.contains(set_id)
+
+    def sampled_ids(self) -> list[int]:
+        """Materialise the sample by scanning set ids ``0..m-1``.
+
+        This is a post-stream convenience for *reporting* algorithms
+        (Theorem 3.2): recovering ``{S : h(S) = 1}`` needs no second pass
+        over the stream, only over the known id space.
+        """
+        ids = np.arange(self.m)
+        return [int(i) for i in ids[self._membership.contains_many(ids)]]
+
+    def space_words(self) -> int:
+        return self._membership.space_words()

@@ -1,0 +1,99 @@
+"""Concentration helpers used across the package (Appendix A).
+
+The paper's analyses repeatedly invoke Chernoff bounds for sums of
+``d``-wise independent Bernoulli variables (Schmidt--Siegel--Srinivasan
+[38], restated as Lemma A.3/A.4) and Chebyshev for pairwise-independent
+sums (Lemma 3.5, Lemma 4.16).  These helpers expose the bounds as
+callable formulas so that parameter schedules, tests, and benchmarks can
+compute failure probabilities and required sample sizes the same way the
+proofs do.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "limited_independence_degree",
+    "chebyshev_bound",
+    "union_bound",
+    "repetitions_for_failure",
+]
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """``Pr[X >= (1 + delta) mean]`` bound, Lemma A.3 form.
+
+    ``exp(-mean * delta^2 / 3)`` for ``delta < 1`` and
+    ``exp(-mean * delta / 3)`` for ``delta >= 1``.
+    """
+    if mean < 0 or delta < 0:
+        raise ValueError(
+            f"mean and delta must be non-negative, got {mean}, {delta}"
+        )
+    if delta < 1:
+        return math.exp(-mean * delta * delta / 3.0)
+    return math.exp(-mean * delta / 3.0)
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """``Pr[X <= (1 - delta) mean]`` bound, ``exp(-mean delta^2 / 2)``."""
+    if mean < 0 or not 0 <= delta <= 1:
+        raise ValueError(
+            f"need mean >= 0 and delta in [0,1], got {mean}, {delta}"
+        )
+    return math.exp(-mean * delta * delta / 2.0)
+
+
+def limited_independence_degree(mean: float, delta: float) -> int:
+    """Independence degree making Lemma A.3's bound valid.
+
+    Lemma A.3 requires ``d = Omega(delta^2 mean)`` for ``delta < 1`` and
+    ``d = Omega(delta mean)`` otherwise; we return the ceiling, floored
+    at 2 (pairwise).
+    """
+    if mean < 0 or delta < 0:
+        raise ValueError(
+            f"mean and delta must be non-negative, got {mean}, {delta}"
+        )
+    needed = delta * delta * mean if delta < 1 else delta * mean
+    return max(2, int(math.ceil(needed)))
+
+
+def chebyshev_bound(variance: float, deviation: float) -> float:
+    """``Pr[|X - E X| >= deviation] <= variance / deviation^2``."""
+    if variance < 0 or deviation <= 0:
+        raise ValueError(
+            f"need variance >= 0 and deviation > 0, "
+            f"got {variance}, {deviation}"
+        )
+    return min(1.0, variance / (deviation * deviation))
+
+
+def union_bound(*probabilities: float) -> float:
+    """Capped sum of failure probabilities."""
+    return min(1.0, sum(probabilities))
+
+
+def repetitions_for_failure(
+    per_trial_success: float, target_failure: float
+) -> int:
+    """Independent repetitions so that *all* trials fail w.p. <= target.
+
+    Used by ``EstimateMaxCover``'s ``log(1/delta)`` repetition loop
+    (Figure 1) and ``LargeSet``'s ``O(log n)`` parallel runs (Figure 7).
+    """
+    if not 0 < per_trial_success <= 1:
+        raise ValueError(
+            f"per_trial_success must be in (0, 1], got {per_trial_success}"
+        )
+    if not 0 < target_failure < 1:
+        raise ValueError(
+            f"target_failure must be in (0, 1), got {target_failure}"
+        )
+    if per_trial_success == 1.0:
+        return 1
+    reps = math.log(target_failure) / math.log(1.0 - per_trial_success)
+    return max(1, int(math.ceil(reps)))

@@ -1,0 +1,42 @@
+"""Edge-arrival stream model and synthetic workload generators."""
+
+from repro.streams.adversary import (
+    duplicate_flood,
+    fragmented,
+    noise_first,
+    signal_first,
+)
+from repro.streams.datasets import (
+    document_corpus_instance,
+    dominating_set_instance,
+    influence_instance,
+)
+from repro.streams.edge_stream import ARRIVAL_ORDERS, EdgeStream
+from repro.streams.generators import (
+    Workload,
+    common_heavy,
+    few_large_sets,
+    many_small_sets,
+    planted_cover,
+    random_uniform,
+    zipf_frequencies,
+)
+
+__all__ = [
+    "ARRIVAL_ORDERS",
+    "EdgeStream",
+    "Workload",
+    "random_uniform",
+    "planted_cover",
+    "zipf_frequencies",
+    "common_heavy",
+    "few_large_sets",
+    "many_small_sets",
+    "noise_first",
+    "signal_first",
+    "duplicate_flood",
+    "fragmented",
+    "dominating_set_instance",
+    "influence_instance",
+    "document_corpus_instance",
+]

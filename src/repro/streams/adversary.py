@@ -1,0 +1,99 @@
+"""Adversarial stream orderings.
+
+The model's guarantees are for *adversarial* order (Section 1), but the
+named orders in :mod:`repro.streams.edge_stream` are oblivious.  This
+module crafts orderings targeted at specific algorithmic weaknesses, for
+robustness benchmarking:
+
+* :func:`noise_first` -- all noise-set edges before any planted-set
+  edge: stresses candidate pools (heavy hitters fill with noise before
+  the signal arrives) and threshold-greedy baselines (they commit
+  early).
+* :func:`signal_first` -- the reverse: stresses eviction logic (the
+  signal must survive a long noise tail).
+* :func:`duplicate_flood` -- interleaves each true edge with replayed
+  duplicates of a decoy edge: stresses duplicate handling in stored-edge
+  algorithms and total-size-as-coverage proxies (Claim 4.10's ``f``
+  factor).
+* :func:`fragmented` -- deals each set's edges as far apart as possible
+  (maximal set spread), the strongest version of footnote 2's
+  non-contiguity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.edge_stream import EdgeStream, _round_robin
+from repro.streams.generators import Workload
+
+__all__ = [
+    "noise_first",
+    "signal_first",
+    "duplicate_flood",
+    "fragmented",
+]
+
+
+def _split_edges(workload: Workload):
+    planted = set(workload.planted_ids)
+    if not planted:
+        raise ValueError(
+            f"workload {workload.name!r} has no planted solution to "
+            "order against"
+        )
+    signal, noise = [], []
+    for edge in workload.system.edges():
+        (signal if edge[0] in planted else noise).append(edge)
+    return signal, noise
+
+
+def noise_first(workload: Workload, seed=0) -> EdgeStream:
+    """All noise edges (shuffled), then all signal edges (shuffled)."""
+    signal, noise = _split_edges(workload)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(noise)
+    rng.shuffle(signal)
+    system = workload.system
+    return EdgeStream(noise + signal, m=system.m, n=system.n)
+
+
+def signal_first(workload: Workload, seed=0) -> EdgeStream:
+    """All signal edges first, then a long noise tail."""
+    signal, noise = _split_edges(workload)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(noise)
+    rng.shuffle(signal)
+    system = workload.system
+    return EdgeStream(signal + noise, m=system.m, n=system.n)
+
+
+def duplicate_flood(
+    workload: Workload, copies: int = 5, seed=0
+) -> EdgeStream:
+    """Each true edge followed by ``copies`` replays of a decoy edge.
+
+    The decoy is the lexicographically first edge of the instance, so
+    the flood is a legal (duplicate-bearing) encoding of the *same* set
+    system -- algorithms must return the same answers.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    system = workload.system
+    edges = system.edges()
+    rng = np.random.default_rng(seed)
+    rng.shuffle(edges)
+    decoy = min(system.edges())
+    flooded: list[tuple[int, int]] = []
+    for edge in edges:
+        flooded.append(edge)
+        flooded.extend([decoy] * copies)
+    return EdgeStream(flooded, m=system.m, n=system.n)
+
+
+def fragmented(workload: Workload) -> EdgeStream:
+    """Maximal per-set spread: one edge per set per round."""
+    system = workload.system
+    return EdgeStream(
+        _round_robin(sorted(system.edges())), m=system.m, n=system.n
+    )

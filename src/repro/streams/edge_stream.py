@@ -1,0 +1,188 @@
+"""The general edge-arrival streaming model.
+
+The paper's model (Section 1): the input set system is presented as a
+sequence of ``(set, element)`` pairs *in arbitrary order* -- elements of a
+set may arrive interleaved with other sets', duplicated, and far apart.
+:class:`EdgeStream` materialises such a sequence together with the
+instance shape ``(m, n)`` that every algorithm receives up front, and
+provides the arrival orders the benchmarks exercise:
+
+* ``set_major`` -- each set's edges contiguous (the *set-arrival* special
+  case, which set-arrival baselines require);
+* ``random`` -- a uniform shuffle, the usual average case;
+* ``element_major`` -- grouped by element, the transpose worst case for
+  set-arrival algorithms (footnote 2's directed-graph scenario);
+* ``round_robin`` -- maximally interleaved: one edge per set per round,
+  an adversarial order for thresholding heuristics;
+* ``player_major`` -- grouped by element blocks in ascending order, the
+  one-way communication order of the Section 5 lower bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.coverage.setsystem import SetSystem
+
+__all__ = ["ARRIVAL_ORDERS", "EdgeStream"]
+
+ARRIVAL_ORDERS = (
+    "set_major",
+    "random",
+    "element_major",
+    "round_robin",
+    "player_major",
+)
+
+
+class EdgeStream:
+    """A replayable sequence of ``(set_id, element)`` edges.
+
+    Parameters
+    ----------
+    edges:
+        The ``(set_id, element)`` pairs, already in arrival order.
+    m, n:
+        Instance shape, known to algorithms in advance (as the paper
+        assumes).  Inferred from the edges when omitted.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[int, int]],
+        m: int | None = None,
+        n: int | None = None,
+    ):
+        self._edges = [(int(s), int(e)) for s, e in edges]
+        max_set = max((s for s, _ in self._edges), default=-1)
+        max_elem = max((e for _, e in self._edges), default=-1)
+        self.m = int(m) if m is not None else max_set + 1
+        self.n = int(n) if n is not None else max_elem + 1
+        if self.m < max_set + 1:
+            raise ValueError(
+                f"m={self.m} smaller than largest set id + 1 ({max_set + 1})"
+            )
+        if self.n < max_elem + 1:
+            raise ValueError(
+                f"n={self.n} smaller than largest element + 1 ({max_elem + 1})"
+            )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_system(
+        cls,
+        system: SetSystem,
+        order: str = "random",
+        seed=0,
+    ) -> "EdgeStream":
+        """Stream a :class:`SetSystem` in the given arrival order."""
+        stream = cls(system.edges(), m=system.m, n=system.n)
+        return stream.reordered(order, seed=seed)
+
+    def to_system(self) -> SetSystem:
+        """Materialise the underlying set system (testing convenience)."""
+        return SetSystem.from_edges(self._edges, m=self.m, n=self.n)
+
+    @classmethod
+    def load(cls, path) -> "EdgeStream":
+        """Read a stream from a whitespace-separated text file.
+
+        Format: one ``set_id element`` pair per line; blank lines and
+        ``#`` comments are skipped.  An optional ``# shape: m n`` header
+        fixes the instance shape (otherwise inferred).
+        """
+        m = n = None
+        edges: list[tuple[int, int]] = []
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if line.startswith("# shape:"):
+                    parts = line.split(":", 1)[1].split()
+                    m, n = int(parts[0]), int(parts[1])
+                    continue
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 2:
+                    raise ValueError(
+                        f"{path}:{lineno}: expected 'set element', "
+                        f"got {line!r}"
+                    )
+                edges.append((int(parts[0]), int(parts[1])))
+        return cls(edges, m=m, n=n)
+
+    def save(self, path) -> None:
+        """Write the stream in :meth:`load`'s format, with shape header."""
+        with open(path, "w") as handle:
+            handle.write(f"# shape: {self.m} {self.n}\n")
+            for set_id, element in self._edges:
+                handle.write(f"{set_id} {element}\n")
+
+    # -- iteration ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """The edge list in arrival order (read-only copy)."""
+        return list(self._edges)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(set_ids, elements)`` as parallel int64 arrays, for the
+        vectorised ``process_batch`` path."""
+        if not self._edges:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        arr = np.asarray(self._edges, dtype=np.int64)
+        return arr[:, 0].copy(), arr[:, 1].copy()
+
+    # -- reorderings -------------------------------------------------------
+
+    def reordered(self, order: str, seed=0) -> "EdgeStream":
+        """Return a new stream with the same edges in another order."""
+        if order not in ARRIVAL_ORDERS:
+            raise ValueError(
+                f"unknown arrival order {order!r}; choose from {ARRIVAL_ORDERS}"
+            )
+        if order == "set_major":
+            edges = sorted(self._edges)
+        elif order == "element_major":
+            edges = sorted(self._edges, key=lambda se: (se[1], se[0]))
+        elif order == "player_major":
+            # Section 5's protocol order: all of element 0's edges, then
+            # element 1's, ... -- each block is one player's turn.
+            edges = sorted(self._edges, key=lambda se: (se[1], se[0]))
+        elif order == "random":
+            rng = np.random.default_rng(seed)
+            edges = list(self._edges)
+            perm = rng.permutation(len(edges))
+            edges = [edges[i] for i in perm]
+        else:  # round_robin
+            edges = _round_robin(sorted(self._edges))
+        return EdgeStream(edges, m=self.m, n=self.n)
+
+
+def _round_robin(sorted_edges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Interleave edges one-per-set per round."""
+    per_set: dict[int, list[tuple[int, int]]] = {}
+    for s, e in sorted_edges:
+        per_set.setdefault(s, []).append((s, e))
+    queues = [per_set[s] for s in sorted(per_set)]
+    out: list[tuple[int, int]] = []
+    cursor = 0
+    alive = True
+    while alive:
+        alive = False
+        for q in queues:
+            if cursor < len(q):
+                out.append(q[cursor])
+                alive = True
+        cursor += 1
+    return out

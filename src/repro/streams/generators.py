@@ -1,0 +1,320 @@
+"""Synthetic Max k-Cover workload families.
+
+The paper is pure theory, so its "datasets" are the structural regimes its
+case analysis distinguishes.  Each generator below manufactures the regime
+one oracle subroutine is designed for, plus neutral families for overall
+benchmarking:
+
+* :func:`random_uniform` -- each set is a uniform sample; no structure.
+* :func:`planted_cover` -- ``k`` planted sets cover a target fraction of
+  the universe among noise sets; a known near-optimal solution makes
+  approximation ratios exact.
+* :func:`zipf_frequencies` -- element frequencies follow a power law, the
+  standard model of real coverage data (web, text corpora).
+* :func:`common_heavy` -- a large block of ``beta k``-common elements
+  (Definition 2.1), the ``LargeCommon`` regime (case I of Section 4).
+* :func:`few_large_sets` -- an optimal solution dominated by a few large
+  sets (``|C(OPT_large)| >= |C(OPT)|/2``), the ``LargeSet`` regime
+  (case II).
+* :func:`many_small_sets` -- an optimal solution of ``k`` small
+  equal-size sets, the ``SmallSet`` regime (case III).
+
+All generators take a ``seed`` and return a
+:class:`~repro.coverage.setsystem.SetSystem` whose planted structure is
+described in the companion :class:`Workload` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coverage.setsystem import SetSystem
+
+__all__ = [
+    "Workload",
+    "random_uniform",
+    "planted_cover",
+    "zipf_frequencies",
+    "common_heavy",
+    "few_large_sets",
+    "many_small_sets",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated instance plus ground-truth metadata.
+
+    Attributes
+    ----------
+    system:
+        The generated set system.
+    name:
+        Generator family name.
+    planted_ids:
+        Set ids of the planted (near-)optimal solution, when one exists.
+    planted_coverage:
+        Coverage of the planted solution (lower bound on ``|C(OPT)|``).
+    params:
+        Generator parameters, for experiment logs.
+    """
+
+    system: SetSystem
+    name: str
+    planted_ids: tuple[int, ...] = ()
+    planted_coverage: int = 0
+    params: dict = field(default_factory=dict)
+
+
+def _validated(n: int, m: int, k: int) -> None:
+    if n < 1 or m < 1:
+        raise ValueError(f"need n, m >= 1, got n={n}, m={m}")
+    if not 0 < k <= m:
+        raise ValueError(f"need 0 < k <= m, got k={k}, m={m}")
+
+
+def random_uniform(
+    n: int, m: int, set_size: int, seed=0
+) -> Workload:
+    """``m`` sets, each a uniform ``set_size``-subset of ``[n]``."""
+    _validated(n, m, 1)
+    if not 0 < set_size <= n:
+        raise ValueError(f"need 0 < set_size <= n, got {set_size}, n={n}")
+    rng = np.random.default_rng(seed)
+    sets = [
+        rng.choice(n, size=set_size, replace=False).tolist()
+        for _ in range(m)
+    ]
+    return Workload(
+        SetSystem(sets, n=n),
+        name="random_uniform",
+        params={"n": n, "m": m, "set_size": set_size, "seed": seed},
+    )
+
+
+def planted_cover(
+    n: int,
+    m: int,
+    k: int,
+    coverage_frac: float = 0.9,
+    noise_size: int | None = None,
+    seed=0,
+) -> Workload:
+    """``k`` disjoint planted sets covering ``coverage_frac * n`` elements.
+
+    The remaining ``m - k`` noise sets are small uniform subsets, so the
+    planted solution is (essentially) optimal and its coverage is exact
+    ground truth for approximation-ratio measurements.  Planted set ids
+    are randomly scattered through ``0..m-1``.
+    """
+    _validated(n, m, k)
+    if not 0 < coverage_frac <= 1:
+        raise ValueError(
+            f"coverage_frac must be in (0, 1], got {coverage_frac}"
+        )
+    rng = np.random.default_rng(seed)
+    covered_total = max(k, int(round(coverage_frac * n)))
+    covered_total = min(covered_total, n)
+    chunk = covered_total // k
+    if chunk == 0:
+        raise ValueError(
+            f"coverage_frac * n = {covered_total} too small for k={k} sets"
+        )
+    elements = rng.permutation(n)
+    planted_contents = [
+        elements[i * chunk : (i + 1) * chunk].tolist() for i in range(k)
+    ]
+    if noise_size is None:
+        noise_size = max(1, chunk // 4)
+    ids = rng.permutation(m)
+    planted_ids = tuple(int(j) for j in ids[:k])
+    sets: list[list[int]] = [[] for _ in range(m)]
+    for slot, contents in zip(planted_ids, planted_contents):
+        sets[slot] = contents
+    for j in ids[k:]:
+        sets[int(j)] = rng.choice(
+            n, size=min(noise_size, n), replace=False
+        ).tolist()
+    system = SetSystem(sets, n=n)
+    return Workload(
+        system,
+        name="planted_cover",
+        planted_ids=planted_ids,
+        planted_coverage=system.coverage(planted_ids),
+        params={
+            "n": n,
+            "m": m,
+            "k": k,
+            "coverage_frac": coverage_frac,
+            "noise_size": noise_size,
+            "seed": seed,
+        },
+    )
+
+
+def zipf_frequencies(
+    n: int, m: int, exponent: float = 1.2, max_frequency: int | None = None, seed=0
+) -> Workload:
+    """Element ``e`` appears in ``~ freq_0 / (e+1)^exponent`` sets.
+
+    Produces the skewed frequency profiles (a few very common elements,
+    a long tail of rare ones) typical of real coverage data, exercising
+    the frequency-level partitioning in Lemma 4.20.
+    """
+    _validated(n, m, 1)
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    rng = np.random.default_rng(seed)
+    if max_frequency is None:
+        max_frequency = m
+    max_frequency = min(max_frequency, m)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    freqs = np.maximum(1, (max_frequency / ranks**exponent)).astype(int)
+    sets: list[set[int]] = [set() for _ in range(m)]
+    for e in range(n):
+        owners = rng.choice(m, size=int(freqs[e]), replace=False)
+        for j in owners:
+            sets[int(j)].add(e)
+    return Workload(
+        SetSystem(sets, n=n),
+        name="zipf_frequencies",
+        params={
+            "n": n,
+            "m": m,
+            "exponent": exponent,
+            "max_frequency": max_frequency,
+            "seed": seed,
+        },
+    )
+
+
+def common_heavy(
+    n: int,
+    m: int,
+    k: int,
+    beta: float,
+    common_frac: float = 0.5,
+    rare_set_size: int = 4,
+    seed=0,
+) -> Workload:
+    """The ``LargeCommon`` regime: many ``beta k``-common elements.
+
+    A ``common_frac`` fraction of the universe appears in at least
+    ``m / (beta k)`` sets each (so set sampling at rate ``~beta k / m``
+    covers it all, Lemma 2.3); the rest of the universe appears in a
+    single small set each.
+    """
+    _validated(n, m, k)
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    rng = np.random.default_rng(seed)
+    n_common = max(1, int(round(common_frac * n)))
+    frequency = min(m, max(2, int(np.ceil(m / (beta * k)))))
+    sets: list[set[int]] = [set() for _ in range(m)]
+    for e in range(n_common):
+        owners = rng.choice(m, size=frequency, replace=False)
+        for j in owners:
+            sets[int(j)].add(e)
+    # Rare tail: each remaining element lives in exactly one set.
+    for e in range(n_common, n):
+        sets[int(rng.integers(0, m))].add(e)
+    for j in range(m):
+        if not sets[j]:
+            sets[j].add(int(rng.integers(0, n_common)))
+    system = SetSystem(sets, n=n)
+    return Workload(
+        system,
+        name="common_heavy",
+        params={
+            "n": n,
+            "m": m,
+            "k": k,
+            "beta": beta,
+            "common_frac": common_frac,
+            "frequency": frequency,
+            "seed": seed,
+        },
+    )
+
+
+def few_large_sets(
+    n: int,
+    m: int,
+    k: int,
+    num_large: int = 2,
+    coverage_frac: float = 0.8,
+    noise_size: int = 4,
+    seed=0,
+) -> Workload:
+    """The ``LargeSet`` regime: ``num_large`` huge sets dominate OPT.
+
+    ``num_large`` disjoint sets jointly cover ``coverage_frac * n``
+    elements; every other set is a tiny uniform sample.  The optimal
+    ``k``-cover's large-set part (Definition 4.2) carries essentially all
+    of the coverage, which is case II of the oracle's analysis.
+    """
+    _validated(n, m, k)
+    if not 0 < num_large <= k:
+        raise ValueError(
+            f"need 0 < num_large <= k, got num_large={num_large}, k={k}"
+        )
+    rng = np.random.default_rng(seed)
+    covered_total = min(n, max(num_large, int(round(coverage_frac * n))))
+    chunk = covered_total // num_large
+    elements = rng.permutation(n)
+    ids = rng.permutation(m)
+    planted_ids = tuple(int(j) for j in ids[:num_large])
+    sets: list[list[int]] = [[] for _ in range(m)]
+    for i, slot in enumerate(planted_ids):
+        sets[slot] = elements[i * chunk : (i + 1) * chunk].tolist()
+    for j in ids[num_large:]:
+        sets[int(j)] = rng.choice(
+            n, size=min(noise_size, n), replace=False
+        ).tolist()
+    system = SetSystem(sets, n=n)
+    return Workload(
+        system,
+        name="few_large_sets",
+        planted_ids=planted_ids,
+        planted_coverage=system.coverage(planted_ids),
+        params={
+            "n": n,
+            "m": m,
+            "k": k,
+            "num_large": num_large,
+            "coverage_frac": coverage_frac,
+            "seed": seed,
+        },
+    )
+
+
+def many_small_sets(
+    n: int,
+    m: int,
+    k: int,
+    coverage_frac: float = 0.8,
+    noise_size: int | None = None,
+    seed=0,
+) -> Workload:
+    """The ``SmallSet`` regime: OPT consists of ``k`` small equal sets.
+
+    Equivalent to :func:`planted_cover` with many planted sets -- each
+    contributes only a ``1/k`` sliver of the optimal coverage, so
+    ``|C(OPT_large)| < |C(OPT)|/2`` whenever ``s * alpha < 2k``
+    (case III of the oracle's analysis).
+    """
+    return Workload(
+        **{
+            **planted_cover(
+                n,
+                m,
+                k,
+                coverage_frac=coverage_frac,
+                noise_size=noise_size,
+                seed=seed,
+            ).__dict__,
+            "name": "many_small_sets",
+        }
+    )

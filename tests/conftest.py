@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic workloads used across test files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EdgeStream,
+    Parameters,
+    SetSystem,
+    common_heavy,
+    few_large_sets,
+    planted_cover,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_system() -> SetSystem:
+    """A hand-written 5-set instance with known optima."""
+    return SetSystem(
+        [
+            {0, 1, 2, 3},      # set 0
+            {3, 4, 5},         # set 1
+            {6, 7},            # set 2
+            {0, 1, 2, 3, 4},   # set 3 (superset of 0's core)
+            {8},               # set 4
+        ],
+        n=9,
+    )
+
+
+@pytest.fixture(scope="session")
+def planted_workload():
+    """Planted k=6 cover over n=300, m=150 -- the 'many small sets' regime."""
+    return planted_cover(n=300, m=150, k=6, coverage_frac=0.9, seed=11)
+
+
+@pytest.fixture(scope="session")
+def large_set_workload():
+    """Two huge sets dominate OPT -- the 'few large sets' regime."""
+    return few_large_sets(n=300, m=150, k=6, num_large=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def common_workload():
+    """Dense common-element block -- the 'LargeCommon' regime."""
+    return common_heavy(n=300, m=150, k=6, beta=2.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def planted_stream(planted_workload) -> EdgeStream:
+    return EdgeStream.from_system(
+        planted_workload.system, order="random", seed=7
+    )
+
+
+@pytest.fixture()
+def practical_params(planted_workload) -> Parameters:
+    system = planted_workload.system
+    return Parameters.practical(m=system.m, n=system.n, k=6, alpha=3.0)

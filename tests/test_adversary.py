@@ -1,0 +1,94 @@
+"""Tests for adversarial orderings and the oracle's resilience to them."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import EdgeStream, Parameters, lazy_greedy
+from repro.core.oracle import Oracle
+from repro.streams.adversary import (
+    duplicate_flood,
+    fragmented,
+    noise_first,
+    signal_first,
+)
+from repro.streams.generators import random_uniform
+
+
+class TestOrderingConstruction:
+    def test_noise_first_defers_planted_edges(self, planted_workload):
+        stream = noise_first(planted_workload, seed=1)
+        planted = set(planted_workload.planted_ids)
+        arrivals = [s in planted for s, _ in stream]
+        first_signal = arrivals.index(True)
+        assert not any(arrivals[:first_signal])
+        assert all(arrivals[first_signal:])
+
+    def test_signal_first_mirrors(self, planted_workload):
+        stream = signal_first(planted_workload, seed=1)
+        planted = set(planted_workload.planted_ids)
+        arrivals = [s in planted for s, _ in stream]
+        last_signal = len(arrivals) - 1 - arrivals[::-1].index(True)
+        assert all(arrivals[: last_signal + 1][i] for i in
+                   range(sum(arrivals)))  # prefix is all signal
+
+    def test_orderings_preserve_edge_set(self, planted_workload):
+        base = Counter(planted_workload.system.edges())
+        for build in (noise_first, signal_first, fragmented):
+            stream = build(planted_workload)
+            assert Counter(set(stream)) == Counter(
+                {e: 1 for e in base}
+            )
+
+    def test_duplicate_flood_same_system(self, planted_workload):
+        stream = duplicate_flood(planted_workload, copies=3, seed=1)
+        rebuilt = stream.to_system()
+        original = planted_workload.system
+        for j in range(original.m):
+            assert rebuilt.set_contents(j) == original.set_contents(j)
+
+    def test_duplicate_flood_length(self, planted_workload):
+        edges = planted_workload.system.total_size()
+        stream = duplicate_flood(planted_workload, copies=2)
+        assert len(stream) == 3 * edges
+
+    def test_requires_planted_solution(self):
+        workload = random_uniform(n=50, m=20, set_size=5, seed=1)
+        with pytest.raises(ValueError, match="no planted solution"):
+            noise_first(workload)
+
+    def test_rejects_bad_copies(self, planted_workload):
+        with pytest.raises(ValueError):
+            duplicate_flood(planted_workload, copies=0)
+
+
+class TestOracleUnderAdversary:
+    @pytest.mark.parametrize(
+        "build", [noise_first, signal_first, fragmented],
+        ids=["noise_first", "signal_first", "fragmented"],
+    )
+    def test_contract_survives_ordering(self, planted_workload, build):
+        system = planted_workload.system
+        opt = lazy_greedy(system, 6).coverage
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        stream = build(planted_workload)
+        oracle = Oracle(params, seed=4)
+        oracle.process_batch(*stream.as_arrays())
+        est = oracle.estimate()
+        assert est <= 1.6 * opt
+        assert est >= opt / 30
+
+    def test_contract_survives_duplicate_flood(self, planted_workload):
+        system = planted_workload.system
+        opt = lazy_greedy(system, 6).coverage
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        stream = duplicate_flood(planted_workload, copies=4, seed=2)
+        oracle = Oracle(params, seed=4)
+        oracle.process_batch(*stream.as_arrays())
+        est = oracle.estimate()
+        # The flood inflates one decoy edge 5x; L0-backed paths ignore
+        # it entirely and the stored-edge paths deduplicate.
+        assert est <= 1.6 * opt
+        assert est >= opt / 30

@@ -1,0 +1,122 @@
+"""Tests for the anytime (peek) API and space profiles.
+
+``peek_*`` methods snapshot the current result WITHOUT finalising the
+pass -- the monitoring hook for long-running streams.  Space profiles
+break the footprint down by component.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, Parameters, lazy_greedy
+from repro.core.estimate import EstimateMaxCover
+from repro.core.oracle import Oracle
+from repro.sketch.contributing import F2Contributing
+from repro.sketch.countsketch import F2HeavyHitter
+
+
+@pytest.fixture()
+def halves(planted_workload):
+    stream = EdgeStream.from_system(
+        planted_workload.system, order="random", seed=3
+    )
+    set_ids, elements = stream.as_arrays()
+    mid = len(set_ids) // 2
+    return (
+        (set_ids[:mid], elements[:mid]),
+        (set_ids[mid:], elements[mid:]),
+    )
+
+
+class TestPeekDoesNotFinalise:
+    def test_oracle_peek_then_continue(self, planted_workload, halves):
+        system = planted_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        oracle = Oracle(params, seed=5)
+        first, second = halves
+        oracle.process_batch(*first)
+        midway = oracle.peek_estimate()
+        oracle.process_batch(*second)  # must NOT raise
+        final = oracle.estimate()
+        assert midway >= 0
+        assert final >= 0
+
+    def test_heavy_hitter_peek(self):
+        hh = F2HeavyHitter(phi=0.1, seed=1)
+        for _ in range(500):
+            hh.process(9)
+        snapshot = hh.peek_heavy_hitters()
+        assert 9 in snapshot
+        hh.process(9)  # pass continues
+        assert 9 in hh.heavy_hitters()
+
+    def test_contributing_peek(self):
+        fc = F2Contributing(gamma=0.2, max_class_size=8, seed=2)
+        for _ in range(400):
+            fc.process(3)
+        midway = {c.coordinate for c in fc.peek_contributing()}
+        fc.process(3)
+        final = {c.coordinate for c in fc.contributing()}
+        assert 3 in midway
+        assert 3 in final
+
+    def test_estimate_max_cover_peek(self, planted_workload, halves):
+        system = planted_workload.system
+        algo = EstimateMaxCover(
+            m=system.m, n=system.n, k=6, alpha=3.0,
+            z_guesses=[256], seed=7,
+        )
+        first, second = halves
+        algo.process_batch(*first)
+        midway = algo.peek_estimate()
+        algo.process_batch(*second)
+        assert algo.estimate() >= 0
+        assert midway >= 0
+
+
+class TestPeekMonotonicity:
+    def test_estimate_grows_with_coverage_seen(self, planted_workload):
+        """On a planted instance the anytime estimate should ratchet up
+        as more of the planted coverage streams past (weakly: sketch
+        noise allows small dips)."""
+        system = planted_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        stream = EdgeStream.from_system(system, order="random", seed=4)
+        set_ids, elements = stream.as_arrays()
+        oracle = Oracle(params, seed=6)
+        quarters = len(set_ids) // 4
+        snapshots = []
+        for i in range(4):
+            lo, hi = i * quarters, (i + 1) * quarters
+            oracle.process_batch(set_ids[lo:hi], elements[lo:hi])
+            snapshots.append(oracle.peek_estimate())
+        assert snapshots[-1] >= snapshots[0]
+        opt = lazy_greedy(system, 6).coverage
+        assert snapshots[-1] <= 1.6 * opt
+
+
+class TestSpaceProfiles:
+    def test_oracle_profile_sums_to_total(self, planted_workload):
+        system = planted_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        oracle = Oracle(params, seed=8)
+        profile = oracle.space_profile()
+        assert set(profile) <= {"large_common", "large_set", "small_set"}
+        assert sum(profile.values()) == oracle.space_words()
+
+    def test_large_set_carries_the_m_over_alpha_squared(self, planted_workload):
+        system = planted_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        profile = Oracle(params, seed=8).space_profile()
+        assert profile["large_set"] > profile["large_common"]
+
+    def test_estimate_profile_keys_are_guesses(self, planted_workload):
+        system = planted_workload.system
+        algo = EstimateMaxCover(
+            m=system.m, n=system.n, k=6, alpha=3.0,
+            z_guesses=[64, 256], seed=9,
+        )
+        profile = algo.space_profile()
+        assert set(profile) == {64, 256}
+        assert sum(profile.values()) == algo.space_words()

@@ -1,0 +1,107 @@
+"""Tests for the streaming-algorithm protocol (single-pass enforcement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import SetArrivalAlgorithm, StreamConsumedError, StreamingAlgorithm
+
+
+class _Counter(StreamingAlgorithm):
+    """Minimal concrete algorithm: counts tokens."""
+
+    def __init__(self):
+        super().__init__()
+        self.total = 0
+
+    def _process(self, *token):
+        self.total += 1
+
+    def space_words(self):
+        return 1
+
+
+class _SetCounter(SetArrivalAlgorithm):
+    def __init__(self):
+        super().__init__()
+        self.sets: list[tuple[int, list[int]]] = []
+
+    def _process_set(self, set_id, elements):
+        self.sets.append((set_id, list(elements)))
+
+    def space_words(self):
+        return 1
+
+
+class TestStreamingAlgorithm:
+    def test_process_counts_tokens(self):
+        algo = _Counter()
+        algo.process(1, 2)
+        algo.process(3, 4)
+        assert algo.tokens_seen == 2
+        assert algo.total == 2
+
+    def test_finalize_blocks_further_processing(self):
+        algo = _Counter()
+        algo.process(1)
+        algo.finalize()
+        with pytest.raises(StreamConsumedError):
+            algo.process(2)
+
+    def test_finalize_is_idempotent(self):
+        algo = _Counter()
+        algo.finalize()
+        algo.finalize()
+        assert algo.finalized
+
+    def test_error_message_names_the_class(self):
+        algo = _Counter()
+        algo.finalize()
+        with pytest.raises(StreamConsumedError, match="_Counter"):
+            algo.process(1)
+
+    def test_process_stream_splats_tuples(self):
+        algo = _Counter()
+        algo.process_stream([(1, 2), (3, 4), (5, 6)])
+        assert algo.tokens_seen == 3
+
+    def test_process_stream_accepts_bare_items(self):
+        algo = _Counter()
+        algo.process_stream([1, 2, 3, 4])
+        assert algo.tokens_seen == 4
+
+    def test_process_stream_returns_self(self):
+        algo = _Counter()
+        assert algo.process_stream([]) is algo
+
+    def test_fresh_algorithm_not_finalized(self):
+        assert not _Counter().finalized
+
+
+class TestSetArrivalAlgorithm:
+    def test_process_set_counts(self):
+        algo = _SetCounter()
+        algo.process_set(0, [1, 2])
+        algo.process_set(1, [3])
+        assert algo.sets_seen == 2
+
+    def test_finalize_blocks(self):
+        algo = _SetCounter()
+        algo.finalize()
+        with pytest.raises(StreamConsumedError):
+            algo.process_set(0, [1])
+
+    def test_edge_stream_adapter_groups_contiguous_sets(self):
+        algo = _SetCounter()
+        algo.process_edge_stream([(0, 5), (0, 6), (1, 7), (2, 8), (2, 9)])
+        assert algo.sets == [(0, [5, 6]), (1, [7]), (2, [8, 9])]
+
+    def test_edge_stream_adapter_rejects_interleaving(self):
+        algo = _SetCounter()
+        with pytest.raises(ValueError, match="non-contiguously"):
+            algo.process_edge_stream([(0, 1), (1, 2), (0, 3)])
+
+    def test_edge_stream_adapter_handles_empty_stream(self):
+        algo = _SetCounter()
+        algo.process_edge_stream([])
+        assert algo.sets == []

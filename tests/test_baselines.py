@@ -1,0 +1,183 @@
+"""Tests for the Table 1 baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BateniEtAlSketch,
+    McGregorVuEstimator,
+    McGregorVuSetArrival,
+    SahaGetoorSwap,
+    SieveStreaming,
+)
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.edge_stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def instance(request):
+    from repro.streams.generators import planted_cover
+
+    workload = planted_cover(n=300, m=150, k=6, coverage_frac=0.9, seed=21)
+    system = workload.system
+    return {
+        "system": system,
+        "opt": lazy_greedy(system, 6).coverage,
+        "edge": EdgeStream.from_system(system, order="random", seed=3),
+        "set_major": EdgeStream.from_system(system, order="set_major"),
+    }
+
+
+class TestMcGregorVuEstimator:
+    def test_accuracy_near_constant_factor(self, instance):
+        algo = McGregorVuEstimator(150, 300, 6, eps=0.4, seed=1)
+        algo.process_stream(instance["edge"])
+        est = algo.estimate()
+        assert instance["opt"] / 3 <= est <= instance["opt"] * 1.5
+
+    def test_solution_ids_valid(self, instance):
+        algo = McGregorVuEstimator(150, 300, 6, eps=0.4, seed=2)
+        algo.process_stream(instance["edge"])
+        ids = algo.solution()
+        assert 0 < len(ids) <= 6
+        true_cov = instance["system"].coverage(ids)
+        assert true_cov >= instance["opt"] / 3
+
+    def test_space_grows_with_precision(self):
+        coarse = McGregorVuEstimator(100, 100, 4, eps=0.8, seed=1)
+        fine = McGregorVuEstimator(100, 100, 4, eps=0.1, seed=1)
+        # Budgets scale as 1/eps^2 even before edges arrive.
+        assert fine._guesses[0]["budget"] > coarse._guesses[0]["budget"]
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            McGregorVuEstimator(10, 10, 2, eps=0.0)
+        with pytest.raises(ValueError):
+            McGregorVuEstimator(10, 10, 2, eps=1.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            McGregorVuEstimator(10, 10, 20, eps=0.5)
+
+
+class TestMcGregorVuSetArrival:
+    def test_accuracy_within_two_plus_eps(self, instance):
+        algo = McGregorVuSetArrival(150, 300, 6, eps=0.4, seed=1)
+        algo.process_edge_stream(instance["set_major"])
+        est = algo.estimate()
+        assert est >= instance["opt"] / 4
+        assert est <= instance["opt"] * 1.5
+
+    def test_solution_bounded_by_k(self, instance):
+        algo = McGregorVuSetArrival(150, 300, 6, eps=0.4, seed=2)
+        algo.process_edge_stream(instance["set_major"])
+        assert len(algo.solution()) <= 6
+
+    def test_space_independent_of_m(self, instance):
+        """Row 5 of Table 1: O~(k/eps^3) -- the footprint must not scale
+        with the family size, only with k and the sampled universe."""
+        algo = McGregorVuSetArrival(150, 300, 6, eps=0.4, seed=1)
+        algo.process_edge_stream(instance["set_major"])
+        algo.estimate()
+        small_m_space = algo.space_words()
+        assert small_m_space < instance["system"].total_size()
+        # Same universe/k with 10x the sets: space should stay put
+        # (both runs hold <= k chosen sets per lane over the same sample).
+        algo_big = McGregorVuSetArrival(1500, 300, 6, eps=0.4, seed=1)
+        algo_big.process_edge_stream(instance["set_major"])
+        algo_big.estimate()
+        assert algo_big.space_words() <= small_m_space * 2
+
+    def test_rejects_interleaved_stream(self, instance):
+        algo = McGregorVuSetArrival(150, 300, 6, eps=0.4, seed=1)
+        with pytest.raises(ValueError, match="non-contiguously"):
+            algo.process_edge_stream(instance["edge"])
+
+
+class TestBateni:
+    def test_accuracy_constant_factor(self, instance):
+        algo = BateniEtAlSketch(150, 300, 6, eps=0.4, seed=1)
+        algo.process_stream(instance["edge"])
+        est = algo.estimate()
+        assert instance["opt"] / 3 <= est <= instance["opt"] * 1.1
+
+    def test_estimate_never_exceeds_optimum(self, instance):
+        """Universe reduction only merges elements, so the reduced
+        greedy coverage lower-bounds the true optimum."""
+        for seed in range(4):
+            algo = BateniEtAlSketch(150, 300, 6, eps=0.4, seed=seed)
+            algo.process_stream(instance["edge"])
+            assert algo.estimate() <= instance["opt"]
+
+    def test_solution_ids_valid(self, instance):
+        algo = BateniEtAlSketch(150, 300, 6, eps=0.4, seed=3)
+        algo.process_stream(instance["edge"])
+        ids = algo.solution()
+        assert 0 < len(ids) <= 6
+        assert instance["system"].coverage(ids) >= instance["opt"] / 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BateniEtAlSketch(10, 10, 2, eps=1.5)
+        with pytest.raises(ValueError):
+            BateniEtAlSketch(10, 10, 0)
+
+
+class TestSahaGetoor:
+    def test_four_approximation(self, instance):
+        algo = SahaGetoorSwap(k=6)
+        algo.process_edge_stream(instance["set_major"])
+        assert algo.estimate() >= instance["opt"] / 4
+
+    def test_solution_is_real_cover(self, instance):
+        algo = SahaGetoorSwap(k=6)
+        algo.process_edge_stream(instance["set_major"])
+        ids = algo.solution()
+        assert len(ids) <= 6
+        assert instance["system"].coverage(ids) >= algo.estimate()
+
+    def test_contributions_disjoint(self, instance):
+        algo = SahaGetoorSwap(k=6)
+        algo.process_edge_stream(instance["set_major"])
+        seen: set[int] = set()
+        for contribution in algo._contribution.values():
+            assert not (contribution & seen)
+            seen |= contribution
+
+    def test_space_order_n(self, instance):
+        algo = SahaGetoorSwap(k=6)
+        algo.process_edge_stream(instance["set_major"])
+        assert algo.space_words() <= 3 * instance["system"].n
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SahaGetoorSwap(k=0)
+        with pytest.raises(ValueError):
+            SahaGetoorSwap(k=5, swap_factor=1.0)
+
+
+class TestSieve:
+    def test_half_approximation(self, instance):
+        algo = SieveStreaming(k=6, eps=0.2)
+        algo.process_edge_stream(instance["set_major"])
+        assert algo.estimate() >= instance["opt"] / 2 * (1 - 0.25)
+
+    def test_solution_bounded_by_k(self, instance):
+        algo = SieveStreaming(k=6, eps=0.2)
+        algo.process_edge_stream(instance["set_major"])
+        ids = algo.solution()
+        assert 0 < len(ids) <= 6
+        assert instance["system"].coverage(ids) == algo.estimate()
+
+    def test_lane_count_logarithmic(self, instance):
+        algo = SieveStreaming(k=6, eps=0.2)
+        algo.process_edge_stream(instance["set_major"])
+        # O(log(k)/eps) lanes.
+        assert len(algo._lanes) <= 60
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SieveStreaming(k=0)
+        with pytest.raises(ValueError):
+            SieveStreaming(k=5, eps=0.7)

@@ -1,0 +1,119 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Aggregate, fit_power_law, repeat, sweep
+from repro.bench.spacemeter import model_curve, space_of
+from repro.bench.tables import ResultTable
+from repro.sketch.l0 import L0Sketch
+
+
+class TestAggregate:
+    def test_statistics(self):
+        agg = Aggregate.of([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.count == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Aggregate.of([])
+
+    def test_repeat_calls_per_seed(self):
+        seen = []
+
+        def fn(seed):
+            seen.append(seed)
+            return float(seed)
+
+        agg = repeat(fn, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert agg.mean == pytest.approx(2.0)
+
+    def test_sweep_grid_times_seeds(self):
+        calls = []
+
+        def fn(point, seed):
+            calls.append((point, seed))
+            return point * seed
+
+        results = sweep(fn, [10, 20], [1, 2])
+        assert len(results) == 2
+        assert results[0][0] == 10
+        assert results[1][1].mean == pytest.approx(30.0)
+        assert len(calls) == 4
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_exponent(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [100 * x**-2 for x in xs]
+        exponent, constant = fit_power_law(xs, ys)
+        assert exponent == pytest.approx(-2.0)
+        assert constant == pytest.approx(100.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+
+class TestSpaceMeter:
+    def test_space_of_sums(self):
+        a = L0Sketch(sketch_size=8, seed=1)
+        b = L0Sketch(sketch_size=8, seed=2)
+        assert space_of(a, b) == a.space_words() + b.space_words()
+
+    def test_space_of_rejects_unmetered(self):
+        with pytest.raises(TypeError):
+            space_of(object())
+
+    def test_model_curve(self):
+        assert model_curve(1000, 10.0) == pytest.approx(10.0)
+        assert model_curve(1000, 10.0, k=5) == pytest.approx(15.0)
+        with pytest.raises(ValueError):
+            model_curve(0, 2.0)
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable(["alpha", "space"], title="demo")
+        table.add_row(2.0, 1234)
+        table.add_row(16.0, 7)
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_markdown(self):
+        table = ResultTable(["a", "b"])
+        table.add_row(1, 2)
+        md = table.render_markdown()
+        assert md.startswith("| a | b |")
+        assert "| 1 | 2 |" in md
+
+    def test_row_width_enforced(self):
+        table = ResultTable(["only"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            ResultTable([])
+
+    def test_float_formatting(self):
+        table = ResultTable(["x"])
+        table.add_row(0.000123)
+        table.add_row(123456.0)
+        table.add_row(1.5)
+        text = table.render()
+        assert "0.000123" in text
+        assert "1.23e+05" in text or "123456" in text
+        assert "1.50" in text

@@ -1,0 +1,74 @@
+"""Tests for the space-budget planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import plan_alpha, project_worst_case_space
+from repro.core.oracle import Oracle
+from repro.core.parameters import Parameters
+from repro.streams.edge_stream import EdgeStream
+from repro.streams.generators import planted_cover
+
+
+class TestProjection:
+    def test_projection_dominates_measured_space(self):
+        """Worst-case projection must upper-bound any actual run."""
+        workload = planted_cover(n=300, m=150, k=6, seed=81)
+        system = workload.system
+        params = Parameters.practical(system.m, system.n, 6, 4.0)
+        projected = project_worst_case_space(params, seed=3)
+        oracle = Oracle(params, seed=3)
+        oracle.process_stream(
+            EdgeStream.from_system(system, order="random", seed=1)
+        )
+        oracle.estimate()
+        # Allow the lazily-created L0 sketches inside LargeSet a margin.
+        assert oracle.space_words() <= projected * 1.5
+
+    def test_projection_decreases_with_alpha(self):
+        sizes = [
+            project_worst_case_space(
+                Parameters.practical(1000, 1000, 20, alpha)
+            )
+            for alpha in (2.0, 8.0, 24.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestPlanAlpha:
+    def test_large_budget_gives_small_alpha(self):
+        config = plan_alpha(500, 500, 10, budget_words=10**9)
+        assert config is not None
+        assert config.alpha == pytest.approx(1.5)
+
+    def test_tight_budget_gives_larger_alpha(self):
+        loose = plan_alpha(500, 500, 10, budget_words=10**9)
+        tight = plan_alpha(500, 500, 10, budget_words=300_000)
+        assert tight is not None
+        assert tight.alpha > loose.alpha
+
+    def test_projection_fits_budget(self):
+        budget = 400_000
+        config = plan_alpha(500, 500, 10, budget_words=budget)
+        assert config is not None
+        assert config.projected_words <= budget
+
+    def test_impossible_budget_returns_none(self):
+        assert plan_alpha(500, 500, 10, budget_words=10) is None
+
+    def test_planned_params_are_usable(self):
+        config = plan_alpha(200, 300, 6, budget_words=10**8)
+        assert config is not None
+        oracle = Oracle(config.params, seed=1)
+        workload = planted_cover(n=300, m=200, k=6, seed=82)
+        oracle.process_stream(
+            EdgeStream.from_system(workload.system, order="random", seed=2)
+        )
+        assert oracle.estimate() >= 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_alpha(100, 100, 5, budget_words=0)
+        with pytest.raises(ValueError):
+            plan_alpha(100, 100, 5, budget_words=100, grid_base=1.0)

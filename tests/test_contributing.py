@@ -1,0 +1,101 @@
+"""Tests for F2-Contributing (Theorem 2.11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.sketch.contributing import ContributingCoordinate, F2Contributing
+
+
+def _feed(sketch, spec: dict[int, int]):
+    for item, count in spec.items():
+        sketch.process(item, count)
+    return sketch
+
+
+class TestF2Contributing:
+    def test_single_dominant_coordinate(self):
+        fc = F2Contributing(gamma=0.1, max_class_size=16, seed=1)
+        _feed(fc, {5: 500})
+        found = {c.coordinate for c in fc.contributing()}
+        assert 5 in found
+
+    def test_small_class_of_equal_coordinates(self):
+        """8 coordinates of frequency 100 form a contributing class."""
+        fc = F2Contributing(gamma=0.2, max_class_size=16, seed=2)
+        _feed(fc, {i: 100 for i in range(8)})
+        found = {c.coordinate for c in fc.contributing()}
+        assert found & set(range(8))
+
+    def test_contributing_class_among_noise(self):
+        spec = {i: 80 for i in range(4)}          # contributing class
+        spec.update({100 + i: 2 for i in range(300)})  # noise tail
+        fc = F2Contributing(gamma=0.2, max_class_size=16, seed=3)
+        _feed(fc, spec)
+        found = {c.coordinate for c in fc.contributing()}
+        assert found & set(range(4))
+
+    def test_reported_frequency_within_factor_two(self):
+        fc = F2Contributing(gamma=0.1, max_class_size=8, seed=4)
+        _feed(fc, {9: 400})
+        by_coord = {c.coordinate: c for c in fc.contributing()}
+        assert 9 in by_coord
+        assert 200 <= by_coord[9].frequency <= 600
+
+    def test_larger_class_found_at_higher_level(self):
+        """64 equal coordinates: found via the ~2^6 subsampling level."""
+        fc = F2Contributing(gamma=0.5, max_class_size=128, seed=5)
+        _feed(fc, {i: 50 for i in range(64)})
+        results = fc.contributing()
+        assert results, "class of 64 equal coordinates must be detected"
+        assert any(c.coordinate < 64 for c in results)
+
+    def test_levels_respect_max_class_size(self):
+        fc = F2Contributing(gamma=0.2, max_class_size=4, seed=6)
+        assert fc.num_levels == 3  # sizes 1, 2, 4
+
+    def test_results_sorted_by_frequency(self):
+        fc = F2Contributing(gamma=0.05, max_class_size=16, seed=7)
+        _feed(fc, {1: 300, 2: 600, 3: 100})
+        freqs = [c.frequency for c in fc.contributing()]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_empty_stream_reports_nothing(self):
+        fc = F2Contributing(gamma=0.1, max_class_size=8, seed=8)
+        assert fc.contributing() == []
+
+    def test_contributing_finalises(self):
+        fc = F2Contributing(gamma=0.1, max_class_size=8, seed=1)
+        fc.process(1)
+        fc.contributing()
+        with pytest.raises(StreamConsumedError):
+            fc.process(2)
+
+    def test_space_grows_with_levels_and_gamma(self):
+        small = F2Contributing(gamma=0.5, max_class_size=4, seed=1)
+        large = F2Contributing(gamma=0.01, max_class_size=64, seed=1)
+        assert small.space_words() < large.space_words()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            F2Contributing(gamma=0.0, max_class_size=8)
+        with pytest.raises(ValueError):
+            F2Contributing(gamma=2.0, max_class_size=8)
+        with pytest.raises(ValueError):
+            F2Contributing(gamma=0.5, max_class_size=0)
+
+    def test_coordinate_record_is_frozen(self):
+        record = ContributingCoordinate(1, 2.0, 0)
+        with pytest.raises(AttributeError):
+            record.frequency = 5.0
+
+    def test_detection_probability_over_seeds(self):
+        """Theorem 2.11 holds w.h.p.; empirically most seeds succeed."""
+        hits = 0
+        for seed in range(10):
+            fc = F2Contributing(gamma=0.2, max_class_size=16, seed=seed)
+            _feed(fc, {i: 60 for i in range(8)})
+            if {c.coordinate for c in fc.contributing()} & set(range(8)):
+                hits += 1
+        assert hits >= 8

@@ -1,0 +1,100 @@
+"""Tests for the realistic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.datasets import (
+    document_corpus_instance,
+    dominating_set_instance,
+    influence_instance,
+)
+
+
+class TestDominatingSet:
+    def test_closed_neighbourhoods(self):
+        w = dominating_set_instance(num_vertices=60, seed=1)
+        system = w.system
+        assert system.m == 60
+        for v in range(60):
+            assert v in system.set_contents(v)  # closed: v covers itself
+
+    def test_barabasi_albert_has_hubs(self):
+        w = dominating_set_instance(num_vertices=200, seed=2)
+        sizes = sorted(w.system.set_size(j) for j in range(200))
+        # Scale-free: the biggest hub dwarfs the median degree.
+        assert sizes[-1] >= 4 * sizes[100]
+
+    def test_erdos_renyi_flat_degrees(self):
+        w = dominating_set_instance(
+            num_vertices=200, model="erdos_renyi", edge_probability=0.05, seed=3
+        )
+        sizes = sorted(w.system.set_size(j) for j in range(200))
+        assert sizes[-1] <= 5 * max(1, sizes[100])
+
+    def test_k_cover_dominates(self):
+        w = dominating_set_instance(num_vertices=100, seed=4)
+        result = lazy_greedy(w.system, 10)
+        assert result.coverage >= 50  # hubs dominate quickly
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            dominating_set_instance(num_vertices=2)
+        with pytest.raises(ValueError):
+            dominating_set_instance(num_vertices=10, model="smallworld")
+
+    def test_deterministic(self):
+        a = dominating_set_instance(num_vertices=50, seed=5)
+        b = dominating_set_instance(num_vertices=50, seed=5)
+        assert a.system.edges() == b.system.edges()
+
+
+class TestInfluence:
+    def test_shape(self):
+        w = influence_instance(num_accounts=100, seed=1)
+        assert w.system.m == 100
+        assert w.system.n == 100
+
+    def test_no_self_loops(self):
+        w = influence_instance(num_accounts=100, seed=2)
+        for u in range(100):
+            assert u not in w.system.set_contents(u)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            influence_instance(num_accounts=2)
+
+
+class TestDocumentCorpus:
+    def test_shape(self):
+        w = document_corpus_instance(
+            num_documents=50, vocabulary=300, seed=1
+        )
+        assert w.system.m == 50
+        assert w.system.n == 300
+
+    def test_word_frequencies_are_skewed(self):
+        w = document_corpus_instance(
+            num_documents=200, vocabulary=500, seed=2
+        )
+        freq = w.system.element_frequencies()
+        ranked = sorted(freq.values(), reverse=True)
+        # Zipf prior: head words appear in far more documents than the
+        # median word.
+        assert ranked[0] >= 5 * max(1, ranked[len(ranked) // 2])
+
+    def test_documents_nonempty(self):
+        w = document_corpus_instance(num_documents=40, vocabulary=200, seed=3)
+        assert all(w.system.set_size(j) > 0 for j in range(40))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            document_corpus_instance(num_documents=0)
+        with pytest.raises(ValueError):
+            document_corpus_instance(vocabulary=5, num_topics=12)
+
+    def test_params_recorded(self):
+        w = document_corpus_instance(num_documents=30, vocabulary=200, seed=7)
+        assert w.params["seed"] == 7
+        assert w.name == "document_corpus"

@@ -1,0 +1,137 @@
+"""Tests for the structural diagnostics (the case analysis, measured)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import Parameters
+from repro.coverage.diagnostics import (
+    classify_regime,
+    common_element_profile,
+    contribution_profile,
+    frequency_levels,
+)
+from repro.streams.generators import (
+    common_heavy,
+    few_large_sets,
+    planted_cover,
+)
+
+
+class TestCommonElementProfile:
+    def test_monotone_in_beta(self, common_workload):
+        """Observation 2.2: U^cmn_{lam1} subseteq U^cmn_{lam2}."""
+        profile = common_element_profile(common_workload.system, k=6)
+        betas = sorted(profile)
+        counts = [profile[b] for b in betas]
+        assert counts == sorted(counts)
+
+    def test_dense_block_detected(self, common_workload):
+        profile = common_element_profile(common_workload.system, k=6)
+        # The generator planted half the universe as ~2k-common.
+        assert profile[2.0] >= 0.4 * common_workload.system.n
+
+    def test_sparse_instance_profile_small(self):
+        w = planted_cover(n=300, m=150, k=6, noise_size=1, seed=5)
+        profile = common_element_profile(w.system, k=6)
+        assert profile[1.0] == 0
+
+    def test_rejects_bad_k(self, common_workload):
+        with pytest.raises(ValueError):
+            common_element_profile(common_workload.system, k=0)
+
+
+class TestContributionProfile:
+    def test_contributions_sum_to_coverage(self, planted_workload):
+        params = Parameters.practical(
+            planted_workload.system.m, planted_workload.system.n, 6, 3.0
+        )
+        profile = contribution_profile(planted_workload.system, 6, params)
+        assert sum(profile.contributions) == profile.coverage
+
+    def test_large_mass_high_for_few_large_sets(self, large_set_workload):
+        system = large_set_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        profile = contribution_profile(system, 6, params)
+        assert profile.large_mass >= 0.5
+
+    def test_large_mass_low_for_many_small_sets(self):
+        # k=12 equal slivers, alpha small -> threshold coverage/(s*alpha)
+        # sits above each sliver.
+        w = planted_cover(n=360, m=150, k=12, coverage_frac=0.9, seed=6)
+        params = Parameters.practical(150, 360, 12, 2.0)
+        profile = contribution_profile(w.system, 12, params)
+        assert profile.large_mass < 0.5
+
+    def test_mass_in_unit_interval(self, common_workload):
+        params = Parameters.practical(
+            common_workload.system.m, common_workload.system.n, 6, 3.0
+        )
+        profile = contribution_profile(common_workload.system, 6, params)
+        assert 0.0 <= profile.large_mass <= 1.0
+
+
+class TestFrequencyLevels:
+    def test_levels_partition_present_elements(self, planted_workload):
+        system = planted_workload.system
+        levels = frequency_levels(system, k=6, alpha=8.0)
+        present = len(system.element_frequencies())
+        assert sum(levels.values()) == present
+
+    def test_sparse_instance_sits_in_w0(self):
+        w = planted_cover(n=300, m=150, k=6, noise_size=1, seed=7)
+        # With alpha=2 the W_0 cutoff is m/(2k) = 12.5 -- far above any
+        # frequency a singleton-noise instance produces.
+        levels = frequency_levels(w.system, k=6, alpha=2.0)
+        assert levels[0] == sum(levels.values())
+
+    def test_common_heavy_fills_upper_levels(self, common_workload):
+        levels = frequency_levels(common_workload.system, k=6, alpha=8.0)
+        assert sum(v for i, v in levels.items() if i >= 1) > 0
+
+    def test_rejects_bad_inputs(self, planted_workload):
+        with pytest.raises(ValueError):
+            frequency_levels(planted_workload.system, k=0, alpha=2.0)
+        with pytest.raises(ValueError):
+            frequency_levels(planted_workload.system, k=3, alpha=0.5)
+
+
+class TestClassifyRegime:
+    def test_common_heavy_classified(self):
+        w = common_heavy(n=300, m=150, k=6, beta=2.0, seed=8)
+        assert classify_regime(w.system, 6, 3.0) == "large_common"
+
+    def test_few_large_classified(self):
+        w = few_large_sets(
+            n=300, m=150, k=6, num_large=2, noise_size=1, seed=8
+        )
+        assert classify_regime(w.system, 6, 3.0) in (
+            "large_set",
+            "large_common",  # two huge sets also create common elements?
+        )
+        # With singleton noise there are no common elements, so it must
+        # be the contribution route.
+        assert classify_regime(w.system, 6, 3.0) == "large_set"
+
+    def test_many_small_classified(self):
+        w = planted_cover(
+            n=360, m=150, k=12, coverage_frac=0.9, noise_size=1, seed=8
+        )
+        assert classify_regime(w.system, 12, 2.0) == "small_set"
+
+    def test_prediction_matches_oracle_provenance(self):
+        """The offline classifier and the streaming oracle agree on the
+        clear-cut regimes."""
+        from repro import EdgeStream
+        from repro.core.oracle import Oracle
+
+        w = planted_cover(
+            n=360, m=150, k=12, coverage_frac=0.9, noise_size=1, seed=9
+        )
+        predicted = classify_regime(w.system, 12, 2.0)
+        params = Parameters.practical(150, 360, 12, 2.0)
+        oracle = Oracle(params, seed=2)
+        oracle.process_batch(
+            *EdgeStream.from_system(w.system, order="random", seed=1).as_arrays()
+        )
+        assert oracle.oracle_estimate().source == predicted

@@ -1,0 +1,157 @@
+"""Edge-case coverage for paths the main suites don't reach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, Parameters
+from repro.bench.tables import ResultTable
+from repro.cli import build_parser, main
+from repro.core.budget import plan_alpha
+from repro.core.oracle import Oracle
+from repro.core.reporting import MaxCoverReporter
+from repro.core.small_set import SmallSet
+from repro.coverage.greedy import greedy_max_cover, lazy_greedy
+from repro.coverage.setsystem import SetSystem
+from repro.lowerbound.communication import L2Distinguisher
+from repro.sketch.hyperloglog import HyperLogLog
+from repro.streams.generators import Workload
+
+
+class TestOracleEdges:
+    def test_all_subroutines_disabled(self):
+        params = Parameters.practical(50, 50, 3, 2.0)
+        oracle = Oracle(params, seed=1, enable=[])
+        oracle.process(0, 0)
+        result = oracle.oracle_estimate()
+        assert result.source == "infeasible"
+        assert result.value == 0.0
+        assert result.per_subroutine == {}
+        assert oracle.space_words() == 0
+
+    def test_single_subroutine_space_profile(self):
+        params = Parameters.practical(50, 50, 3, 2.0)
+        oracle = Oracle(params, seed=1, enable=["large_common"])
+        assert set(oracle.space_profile()) == {"large_common"}
+
+
+class TestReporterEdges:
+    def test_infeasible_on_empty_stream(self):
+        reporter = MaxCoverReporter(m=20, n=20, k=3, alpha=2.0, seed=1)
+        cover = reporter.solution()
+        assert cover.set_ids == ()
+        assert cover.source == "infeasible"
+        assert cover.estimated_coverage == 0.0
+
+    def test_small_set_best_cover_none_when_starved(self):
+        params = Parameters.practical(50, 50, 3, 2.0)
+        algo = SmallSet(params, seed=1)
+        assert algo.best_cover() is None
+
+
+class TestGreedyEdges:
+    def test_tie_breaks_to_smaller_id(self):
+        system = SetSystem([{0, 1}, {2, 3}, {4}], n=5)
+        plain = greedy_max_cover(system, 1)
+        lazy = lazy_greedy(system, 1)
+        assert plain.chosen == (0,)
+        assert lazy.chosen == (0,)
+
+    def test_empty_family(self):
+        system = SetSystem([], n=5)
+        assert lazy_greedy(system, 3).coverage == 0
+        assert greedy_max_cover(system, 3).chosen == ()
+
+    def test_all_empty_sets(self):
+        system = SetSystem([set(), set()], n=5)
+        result = lazy_greedy(system, 2)
+        assert result.coverage == 0
+        assert result.chosen == ()
+
+
+class TestDistinguisherEdges:
+    def test_empty_stream_decides_yes(self):
+        algo = L2Distinguisher(100, 4, width=32, seed=1)
+        assert algo.max_set_size_estimate() == 0.0
+        algo2 = L2Distinguisher(100, 4, width=32, seed=1)
+        assert not algo2.decide_no_case()
+
+
+class TestPlannerEdges:
+    def test_paper_mode_planning(self):
+        config = plan_alpha(
+            200, 300, 6, budget_words=10**9, mode="paper"
+        )
+        assert config is not None
+        assert config.params.mode == "paper"
+
+
+class TestCliEdges:
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_family_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "fractal", "--out", str(tmp_path / "x")])
+
+    def test_parser_lists_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "estimate", "report", "tradeoff", "plan", "generate", "diagnose"
+        ):
+            assert command in text
+
+
+class TestTableEdges:
+    def test_render_without_title(self):
+        table = ResultTable(["x"])
+        table.add_row(1)
+        lines = table.render().splitlines()
+        assert len(lines) == 3  # header, rule, row
+
+    def test_markdown_without_title(self):
+        table = ResultTable(["x"])
+        table.add_row(1)
+        assert table.render_markdown().startswith("| x |")
+
+
+class TestHLLEdges:
+    def test_zero_value_hash_gets_max_rank(self):
+        hll = HyperLogLog(precision=4, seed=1)
+        assert hll._rank(0) == hll._value_bits + 1
+
+    def test_rank_of_max_value_is_one(self):
+        hll = HyperLogLog(precision=4, seed=1)
+        assert hll._rank((1 << hll._value_bits) - 1) == 1
+
+
+class TestWorkloadRecord:
+    def test_frozen(self):
+        workload = Workload(SetSystem([{0}]), name="x")
+        with pytest.raises(AttributeError):
+            workload.name = "y"
+
+    def test_defaults(self):
+        workload = Workload(SetSystem([{0}]), name="x")
+        assert workload.planted_ids == ()
+        assert workload.planted_coverage == 0
+        assert workload.params == {}
+
+
+class TestProcessStreamInputs:
+    def test_generator_input(self):
+        from repro.sketch.l0 import L0Sketch
+
+        sk = L0Sketch(seed=1)
+        sk.process_stream(x for x in range(10))
+        assert sk.tokens_seen == 10
+
+    def test_edge_stream_direct(self, tiny_system):
+        params = Parameters.practical(
+            tiny_system.m, tiny_system.n, 2, 1.5
+        )
+        oracle = Oracle(params, seed=1)
+        oracle.process_stream(EdgeStream.from_system(tiny_system))
+        assert oracle.tokens_seen == tiny_system.total_size()

@@ -1,0 +1,101 @@
+"""Tests for the edge-arrival stream model."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.streams.edge_stream import ARRIVAL_ORDERS, EdgeStream
+
+
+@pytest.fixture()
+def stream(tiny_system):
+    return EdgeStream.from_system(tiny_system, order="set_major")
+
+
+class TestConstruction:
+    def test_shape_inferred(self):
+        s = EdgeStream([(0, 4), (2, 1)])
+        assert s.m == 3
+        assert s.n == 5
+
+    def test_explicit_shape(self):
+        s = EdgeStream([(0, 0)], m=10, n=20)
+        assert (s.m, s.n) == (10, 20)
+
+    def test_rejects_undersized_shape(self):
+        with pytest.raises(ValueError):
+            EdgeStream([(5, 0)], m=3)
+        with pytest.raises(ValueError):
+            EdgeStream([(0, 5)], n=3)
+
+    def test_empty_stream(self):
+        s = EdgeStream([], m=2, n=2)
+        assert len(s) == 0
+        assert list(s) == []
+
+    def test_edges_property_is_a_copy(self, stream):
+        edges = stream.edges
+        edges.clear()
+        assert len(stream) > 0
+
+
+class TestReordering:
+    @pytest.mark.parametrize("order", ARRIVAL_ORDERS)
+    def test_orders_preserve_edge_multiset(self, stream, order):
+        reordered = stream.reordered(order, seed=3)
+        assert Counter(reordered) == Counter(stream)
+        assert (reordered.m, reordered.n) == (stream.m, stream.n)
+
+    def test_set_major_is_contiguous(self, stream):
+        reordered = stream.reordered("set_major")
+        seen, current = set(), None
+        for set_id, _ in reordered:
+            if set_id != current:
+                assert set_id not in seen
+                seen.add(set_id)
+                current = set_id
+
+    def test_element_major_is_contiguous_by_element(self, stream):
+        reordered = stream.reordered("element_major")
+        seen, current = set(), None
+        for _, element in reordered:
+            if element != current:
+                assert element not in seen
+                seen.add(element)
+                current = element
+
+    def test_round_robin_interleaves(self, tiny_system):
+        reordered = EdgeStream.from_system(tiny_system, order="round_robin")
+        first_five = [s for s, _ in list(reordered)[:5]]
+        assert first_five == [0, 1, 2, 3, 4]
+
+    def test_random_orders_differ_by_seed(self, stream):
+        a = stream.reordered("random", seed=1)
+        b = stream.reordered("random", seed=2)
+        assert list(a) != list(b)
+
+    def test_random_order_deterministic_per_seed(self, stream):
+        a = stream.reordered("random", seed=9)
+        b = stream.reordered("random", seed=9)
+        assert list(a) == list(b)
+
+    def test_unknown_order_rejected(self, stream):
+        with pytest.raises(ValueError, match="unknown arrival order"):
+            stream.reordered("sorted_by_vibes")
+
+    def test_player_major_sorted_by_element(self, stream):
+        reordered = stream.reordered("player_major")
+        elements = [e for _, e in reordered]
+        assert elements == sorted(elements)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("order", ARRIVAL_ORDERS)
+    def test_to_system_recovers_instance(self, tiny_system, order):
+        stream = EdgeStream.from_system(tiny_system, order=order, seed=5)
+        rebuilt = stream.to_system()
+        assert rebuilt.m == tiny_system.m
+        for j in range(tiny_system.m):
+            assert rebuilt.set_contents(j) == tiny_system.set_contents(j)

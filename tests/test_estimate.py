@@ -1,0 +1,96 @@
+"""Tests for EstimateMaxCover (Figure 1 / Theorem 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.core.estimate import EstimateMaxCover
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.edge_stream import EdgeStream
+
+
+def _run(workload, k, alpha, seed=0, **kw):
+    system = workload.system
+    algo = EstimateMaxCover(
+        m=system.m, n=system.n, k=k, alpha=alpha, seed=seed, **kw
+    )
+    stream = EdgeStream.from_system(system, order="random", seed=1)
+    algo.process_stream(stream)
+    return algo
+
+
+class TestTrivialRegime:
+    def test_k_alpha_at_least_m_returns_n_over_alpha(self):
+        algo = EstimateMaxCover(m=20, n=100, k=10, alpha=4.0, seed=1)
+        assert algo.trivial
+        algo.process(0, 0)
+        assert algo.estimate() == pytest.approx(25.0)
+
+    def test_trivial_uses_constant_space(self):
+        algo = EstimateMaxCover(m=20, n=100, k=10, alpha=4.0, seed=1)
+        assert algo.space_words() == 1
+
+
+class TestEstimation:
+    def test_within_alpha_on_planted(self, planted_workload):
+        k, alpha = 6, 3.0
+        opt = lazy_greedy(planted_workload.system, k).coverage
+        algo = _run(planted_workload, k, alpha, seed=2, z_base=4.0)
+        est = algo.estimate()
+        assert opt / (8 * alpha) <= est <= 1.5 * opt
+
+    def test_sound_across_seeds(self, planted_workload):
+        k = 6
+        opt = lazy_greedy(planted_workload.system, k).coverage
+        for seed in range(3):
+            est = _run(
+                planted_workload, k, 3.0, seed=seed, z_base=4.0
+            ).estimate()
+            assert est <= 1.5 * opt
+
+    def test_branch_estimates_cover_guesses(self, planted_workload):
+        algo = _run(planted_workload, 6, 3.0, seed=1, z_base=4.0)
+        algo.estimate()
+        branches = algo.branch_estimates()
+        assert branches
+        assert all(1 <= z <= 2 * planted_workload.system.n for z in branches)
+
+    def test_explicit_z_guesses(self, planted_workload):
+        algo = _run(planted_workload, 6, 3.0, seed=1, z_guesses=[64, 256])
+        algo.estimate()
+        assert set(algo.branch_estimates()) <= {64, 256}
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, mode="quantum")
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, repetitions=0)
+
+    def test_rejects_bad_z_base(self):
+        with pytest.raises(ValueError):
+            EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, z_base=1.0)
+
+    def test_rejects_out_of_range_z_guess(self):
+        with pytest.raises(ValueError):
+            EstimateMaxCover(
+                m=100, n=100, k=2, alpha=4.0, z_guesses=[1000]
+            )
+
+
+class TestProtocol:
+    def test_single_pass_enforced(self, planted_workload):
+        algo = _run(planted_workload, 6, 3.0, seed=1, z_guesses=[128])
+        algo.estimate()
+        with pytest.raises(StreamConsumedError):
+            algo.process(0, 0)
+
+    def test_space_accounts_all_branches(self, planted_workload):
+        algo = _run(planted_workload, 6, 3.0, seed=1, z_guesses=[64, 128])
+        assert algo.space_words() > 0
+        # Two guesses, one repetition each -> two oracle branches.
+        assert len(algo._branches) == 2

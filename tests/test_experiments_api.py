@@ -1,0 +1,74 @@
+"""Tests for the programmatic experiment API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    lower_bound_experiment,
+    regime_experiment,
+    tradeoff_experiment,
+)
+from repro.cli import main
+
+
+class TestTradeoffExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tradeoff_experiment(
+            m=120, n=240, k=6, alphas=(2.0, 8.0), seeds=(1,)
+        )
+
+    def test_returns_table_and_summary(self, result):
+        assert isinstance(result, ExperimentResult)
+        assert "trade-off" in result.table.render()
+        assert result.summary["opt"] > 0
+
+    def test_space_decreases(self, result):
+        points = result.summary["points"]
+        assert points[0][1] > points[-1][1]
+
+    def test_exponent_negative(self, result):
+        assert result.summary["exponent"] < 0
+
+    def test_str_renders_table(self, result):
+        assert str(result) == result.table.render()
+
+
+class TestLowerBoundExperiment:
+    def test_phase_transition(self):
+        result = lower_bound_experiment(
+            m=200, players=6, widths=(1, 128), trials=8
+        )
+        accuracies = result.summary["accuracies"]
+        assert accuracies[128] >= accuracies[1]
+        assert result.summary["threshold"] == pytest.approx(200 / 36)
+
+
+class TestRegimeExperiment:
+    def test_grid_is_sound(self):
+        result = regime_experiment(m=120, n=240, k=6, alpha=3.0, seeds=(1, 2))
+        for name, cell in result.summary.items():
+            assert cell["estimate"] <= 1.6 * cell["opt"], name
+            assert cell["source"] in (
+                "large_common", "large_set", "small_set", "infeasible"
+            )
+
+
+class TestExperimentCli:
+    def test_tradeoff_via_cli(self, capsys):
+        code = main(
+            ["experiment", "tradeoff", "--m", "100", "--n", "200", "--k", "5"]
+        )
+        assert code == 0
+        assert "trade-off" in capsys.readouterr().out
+
+    def test_lowerbound_via_cli(self, capsys):
+        code = main(["experiment", "lowerbound", "--m", "150"])
+        assert code == 0
+        assert "lower bound" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "warpdrive"])

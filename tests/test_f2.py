@@ -1,0 +1,85 @@
+"""Tests for the AMS F2 estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.sketch.f2 import F2Sketch
+
+
+def _true_f2(frequencies: dict[int, int]) -> int:
+    return sum(v * v for v in frequencies.values())
+
+
+class TestF2Sketch:
+    def test_empty_stream_is_zero(self):
+        assert F2Sketch(seed=1).estimate() == 0.0
+
+    def test_single_item_frequency_one(self):
+        sk = F2Sketch(seed=1)
+        sk.process(5)
+        assert sk.estimate() == pytest.approx(1.0)
+
+    def test_single_heavy_item_is_exact(self):
+        """One item of frequency c: every counter is +-c, so Z^2 = c^2."""
+        sk = F2Sketch(seed=2)
+        for _ in range(50):
+            sk.process(9)
+        assert sk.estimate() == pytest.approx(2500.0)
+
+    def test_count_argument_equivalent_to_repetition(self):
+        a, b = F2Sketch(seed=3), F2Sketch(seed=3)
+        for _ in range(20):
+            a.process(4)
+        b.process(4, 20)
+        assert a.estimate() == b.estimate()
+
+    @pytest.mark.parametrize("spread", [10, 100])
+    def test_uniform_frequencies_within_factor_two(self, spread):
+        freqs = {i: 5 for i in range(spread)}
+        truth = _true_f2(freqs)
+        sk = F2Sketch(means=32, medians=5, seed=4)
+        for item, count in freqs.items():
+            sk.process(item, count)
+        est = sk.estimate()
+        assert truth / 2 <= est <= truth * 2
+
+    def test_skewed_frequencies_within_factor_two(self):
+        freqs = {i: i + 1 for i in range(60)}
+        truth = _true_f2(freqs)
+        sk = F2Sketch(means=32, medians=5, seed=5)
+        for item, count in freqs.items():
+            sk.process(item, count)
+        assert truth / 2 <= sk.estimate() <= truth * 2
+
+    def test_median_across_seeds_is_accurate(self):
+        freqs = {i: 3 for i in range(200)}
+        truth = _true_f2(freqs)
+        estimates = []
+        for seed in range(15):
+            sk = F2Sketch(means=24, medians=5, seed=seed)
+            for item, count in freqs.items():
+                sk.process(item, count)
+            estimates.append(sk.estimate())
+        estimates.sort()
+        median = estimates[len(estimates) // 2]
+        assert abs(median - truth) / truth < 0.35
+
+    def test_estimate_finalises(self):
+        sk = F2Sketch(seed=1)
+        sk.process(1)
+        sk.estimate()
+        with pytest.raises(StreamConsumedError):
+            sk.process(2)
+
+    def test_space_scales_with_counters(self):
+        small = F2Sketch(means=4, medians=3, seed=1)
+        large = F2Sketch(means=16, medians=5, seed=1)
+        assert small.space_words() < large.space_words()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            F2Sketch(means=0)
+        with pytest.raises(ValueError):
+            F2Sketch(medians=0)

@@ -1,0 +1,131 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.generators import (
+    common_heavy,
+    few_large_sets,
+    many_small_sets,
+    planted_cover,
+    random_uniform,
+    zipf_frequencies,
+)
+
+
+class TestRandomUniform:
+    def test_shape(self):
+        w = random_uniform(n=100, m=20, set_size=10, seed=1)
+        assert w.system.m == 20
+        assert w.system.n == 100
+        assert all(w.system.set_size(j) == 10 for j in range(20))
+
+    def test_deterministic_per_seed(self):
+        a = random_uniform(n=50, m=5, set_size=5, seed=7)
+        b = random_uniform(n=50, m=5, set_size=5, seed=7)
+        assert a.system.edges() == b.system.edges()
+
+    def test_seeds_differ(self):
+        a = random_uniform(n=50, m=5, set_size=5, seed=1)
+        b = random_uniform(n=50, m=5, set_size=5, seed=2)
+        assert a.system.edges() != b.system.edges()
+
+    def test_rejects_oversized_sets(self):
+        with pytest.raises(ValueError):
+            random_uniform(n=10, m=5, set_size=11)
+
+
+class TestPlantedCover:
+    def test_planted_solution_has_promised_coverage(self):
+        w = planted_cover(n=200, m=80, k=4, coverage_frac=0.8, seed=1)
+        assert len(w.planted_ids) == 4
+        assert w.planted_coverage >= 0.75 * 200
+
+    def test_planted_sets_are_disjoint(self):
+        w = planted_cover(n=200, m=80, k=4, coverage_frac=0.8, seed=2)
+        total = sum(w.system.set_size(j) for j in w.planted_ids)
+        assert w.system.coverage(w.planted_ids) == total
+
+    def test_noise_sets_are_small(self):
+        w = planted_cover(
+            n=200, m=80, k=4, coverage_frac=0.8, noise_size=3, seed=3
+        )
+        noise_ids = set(range(80)) - set(w.planted_ids)
+        assert all(w.system.set_size(j) == 3 for j in noise_ids)
+
+    def test_rejects_excessive_k(self):
+        with pytest.raises(ValueError):
+            planted_cover(n=100, m=10, k=11)
+
+    def test_rejects_bad_coverage_frac(self):
+        with pytest.raises(ValueError):
+            planted_cover(n=10, m=20, k=8, coverage_frac=0.0)
+        with pytest.raises(ValueError):
+            planted_cover(n=10, m=20, k=8, coverage_frac=1.5)
+
+    def test_tiny_coverage_still_gives_one_element_per_set(self):
+        w = planted_cover(n=10, m=20, k=8, coverage_frac=0.1, seed=1)
+        assert all(w.system.set_size(j) >= 1 for j in w.planted_ids)
+
+
+class TestZipf:
+    def test_frequency_skew(self):
+        w = zipf_frequencies(n=200, m=100, exponent=1.2, seed=1)
+        freq = w.system.element_frequencies()
+        # Element 0 is the head of the power law, far above the median.
+        frequencies = sorted(freq.values())
+        assert freq[0] >= frequencies[len(frequencies) // 2] * 4
+
+    def test_every_element_present(self):
+        w = zipf_frequencies(n=50, m=30, seed=2)
+        assert len(w.system.element_frequencies()) == 50
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(n=10, m=10, exponent=0.0)
+
+
+class TestCommonHeavy:
+    def test_common_block_exists(self):
+        k, beta = 6, 2.0
+        w = common_heavy(n=300, m=150, k=k, beta=beta, seed=1)
+        threshold = 150 / (beta * k)
+        common = w.system.common_elements(threshold)
+        assert len(common) >= 0.4 * 300 * 0.5
+
+    def test_no_empty_sets(self):
+        w = common_heavy(n=100, m=60, k=4, beta=2.0, seed=2)
+        assert all(w.system.set_size(j) >= 1 for j in range(60))
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            common_heavy(n=10, m=10, k=2, beta=0.0)
+
+
+class TestFewLargeSets:
+    def test_planted_large_sets_dominate(self):
+        w = few_large_sets(n=300, m=100, k=6, num_large=2, seed=1)
+        assert len(w.planted_ids) == 2
+        assert w.planted_coverage >= 0.7 * 300
+        large_sizes = [w.system.set_size(j) for j in w.planted_ids]
+        other = max(
+            w.system.set_size(j)
+            for j in range(100)
+            if j not in w.planted_ids
+        )
+        assert min(large_sizes) > 10 * other
+
+    def test_rejects_num_large_above_k(self):
+        with pytest.raises(ValueError):
+            few_large_sets(n=100, m=50, k=3, num_large=4)
+
+
+class TestManySmallSets:
+    def test_renamed_planted_cover(self):
+        w = many_small_sets(n=200, m=100, k=10, seed=1)
+        assert w.name == "many_small_sets"
+        assert len(w.planted_ids) == 10
+        # Each planted set holds a 1/k sliver -- the case III shape.
+        sizes = [w.system.set_size(j) for j in w.planted_ids]
+        assert max(sizes) <= 200 // 10

@@ -1,0 +1,102 @@
+"""Tests for the HyperLogLog distinct-elements backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.sketch.hyperloglog import HyperLogLog
+from repro.sketch.l0 import L0Sketch
+
+
+class TestAccuracy:
+    def test_empty(self):
+        assert HyperLogLog(precision=8, seed=1).estimate() == 0.0
+
+    def test_small_counts_near_exact(self):
+        """Linear-counting regime: tiny cardinalities are near exact."""
+        hll = HyperLogLog(precision=10, seed=2)
+        for x in range(20):
+            hll.process(x)
+        assert hll.estimate() == pytest.approx(20, abs=3)
+
+    @pytest.mark.parametrize("distinct", [1000, 10000, 50000])
+    def test_relative_error_within_budget(self, distinct):
+        errors = []
+        for seed in range(6):
+            hll = HyperLogLog(precision=10, seed=seed)
+            hll.process_batch(range(distinct))
+            errors.append(abs(hll.estimate() - distinct) / distinct)
+        errors.sort()
+        # Standard error ~ 1.04/sqrt(1024) ~ 3.3%; allow generous slack
+        # for the k-wise (not ideal) hash.
+        assert errors[len(errors) // 2] < 0.15
+
+    def test_duplicates_ignored(self):
+        a = HyperLogLog(precision=8, seed=3)
+        b = HyperLogLog(precision=8, seed=3)
+        for x in range(500):
+            a.process(x)
+            b.process(x)
+            b.process(x % 7)
+        assert a.estimate() == b.estimate()
+
+    def test_batch_equals_scalar(self):
+        import numpy as np
+
+        items = np.arange(5000) % 1234
+        scalar = HyperLogLog(precision=9, seed=4)
+        for x in items:
+            scalar.process(int(x))
+        batched = HyperLogLog(precision=9, seed=4)
+        batched.process_batch(items)
+        assert np.array_equal(scalar._registers, batched._registers)
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        full = HyperLogLog(precision=9, seed=5)
+        full.process_batch(range(4000))
+        a = HyperLogLog(precision=9, seed=5)
+        a.process_batch(range(0, 4000, 2))
+        b = HyperLogLog(precision=9, seed=5)
+        b.process_batch(range(1, 4000, 2))
+        a.merge(b)
+        assert a.estimate() == full.estimate()
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=8, seed=1).merge(
+                HyperLogLog(precision=9, seed=1)
+            )
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=8, seed=1).merge(
+                HyperLogLog(precision=8, seed=2)
+            )
+        with pytest.raises(TypeError):
+            HyperLogLog(precision=8, seed=1).merge(L0Sketch(seed=1))
+
+
+class TestTradeoffVsKMV:
+    def test_space_advantage_at_equal_error(self):
+        """HLL's 5-bit registers undercut KMV's full hash values for
+        comparable accuracy targets."""
+        hll = HyperLogLog(precision=10, seed=1)   # ~3% error, 1024 regs
+        kmv = L0Sketch(sketch_size=1024, seed=1)  # ~3% error, 1024 words
+        for x in range(20000):
+            hll.process(x)
+            kmv.process(x)
+        assert hll.space_words() < kmv.space_words() / 5
+
+    def test_protocol(self):
+        hll = HyperLogLog(precision=8, seed=1)
+        hll.process(1)
+        hll.estimate()
+        with pytest.raises(StreamConsumedError):
+            hll.process(2)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=2)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=20)

@@ -1,0 +1,147 @@
+"""End-to-end integration tests: paper algorithms against ground truth
+across workload families and arrival orders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EdgeStream,
+    EstimateMaxCover,
+    MaxCoverReporter,
+    Parameters,
+    lazy_greedy,
+)
+from repro.core.oracle import Oracle
+from repro.streams.generators import (
+    common_heavy,
+    few_large_sets,
+    planted_cover,
+    random_uniform,
+    zipf_frequencies,
+)
+
+
+def _workloads():
+    return [
+        planted_cover(n=240, m=120, k=6, coverage_frac=0.85, seed=31),
+        few_large_sets(n=240, m=120, k=6, num_large=2, seed=31),
+        common_heavy(n=240, m=120, k=6, beta=2.0, seed=31),
+        random_uniform(n=240, m=120, set_size=12, seed=31),
+        zipf_frequencies(n=240, m=120, exponent=1.3, seed=31),
+    ]
+
+
+class TestOracleAcrossWorkloads:
+    @pytest.mark.parametrize(
+        "workload", _workloads(), ids=lambda w: w.name
+    )
+    def test_sound_and_useful_everywhere(self, workload):
+        k, alpha = 6, 3.0
+        system = workload.system
+        opt = lazy_greedy(system, k).coverage
+        params = Parameters.practical(system.m, system.n, k, alpha)
+        best = 0.0
+        for seed in range(3):
+            oracle = Oracle(params, seed=seed)
+            oracle.process_stream(
+                EdgeStream.from_system(system, order="random", seed=seed)
+            )
+            est = oracle.estimate()
+            assert est <= 1.6 * opt, f"overestimate on {workload.name}"
+            best = max(best, est)
+        assert best >= opt / (10 * alpha), f"useless on {workload.name}"
+
+
+class TestArrivalOrderRobustness:
+    """The general model promises arbitrary order; results must not
+    depend on how edges arrive."""
+
+    @pytest.mark.parametrize(
+        "order", ["set_major", "random", "element_major", "round_robin"]
+    )
+    def test_oracle_works_in_any_order(self, order):
+        workload = planted_cover(n=240, m=120, k=6, coverage_frac=0.85, seed=32)
+        system = workload.system
+        k, alpha = 6, 3.0
+        opt = lazy_greedy(system, k).coverage
+        params = Parameters.practical(system.m, system.n, k, alpha)
+        oracle = Oracle(params, seed=5)
+        oracle.process_stream(
+            EdgeStream.from_system(system, order=order, seed=9)
+        )
+        est = oracle.estimate()
+        assert est <= 1.6 * opt
+        assert est >= opt / (10 * alpha)
+
+    def test_order_invariance_of_deterministic_state(self):
+        """With identical randomness, shuffling the stream leaves sketch-
+        driven estimates close (sketches are order-insensitive; only the
+        candidate pools see order)."""
+        workload = planted_cover(n=200, m=100, k=5, coverage_frac=0.9, seed=33)
+        system = workload.system
+        params = Parameters.practical(system.m, system.n, 5, 3.0)
+        estimates = []
+        for order_seed in (1, 2):
+            oracle = Oracle(params, seed=42)
+            oracle.process_stream(
+                EdgeStream.from_system(system, order="random", seed=order_seed)
+            )
+            estimates.append(oracle.estimate())
+        low, high = sorted(estimates)
+        assert high <= 2 * low + 16
+
+
+class TestEndToEndEstimate:
+    def test_estimate_max_cover_full_pipeline(self):
+        workload = planted_cover(n=256, m=128, k=6, coverage_frac=0.85, seed=34)
+        system = workload.system
+        opt = lazy_greedy(system, 6).coverage
+        algo = EstimateMaxCover(
+            m=system.m, n=system.n, k=6, alpha=3.0, z_base=4.0, seed=6
+        )
+        algo.process_stream(
+            EdgeStream.from_system(system, order="random", seed=7)
+        )
+        est = algo.estimate()
+        assert opt / 10 <= est <= 1.6 * opt
+
+    def test_space_decreases_with_alpha(self):
+        """The headline trade-off, end to end."""
+        workload = planted_cover(n=256, m=128, k=6, coverage_frac=0.85, seed=35)
+        system = workload.system
+        spaces = []
+        for alpha in (2.0, 8.0):
+            algo = EstimateMaxCover(
+                m=system.m,
+                n=system.n,
+                k=6,
+                alpha=alpha,
+                z_guesses=[256],
+                seed=8,
+            )
+            algo.process_stream(
+                EdgeStream.from_system(system, order="random", seed=9)
+            )
+            algo.estimate()
+            spaces.append(algo.space_words())
+        assert spaces[1] < spaces[0] / 2
+
+
+class TestEndToEndReporting:
+    def test_reporter_produces_usable_cover(self):
+        workload = planted_cover(n=256, m=128, k=6, coverage_frac=0.85, seed=36)
+        system = workload.system
+        opt = lazy_greedy(system, 6).coverage
+        best_true = 0
+        for seed in range(3):
+            reporter = MaxCoverReporter(
+                m=system.m, n=system.n, k=6, alpha=3.0, seed=seed
+            )
+            reporter.process_stream(
+                EdgeStream.from_system(system, order="random", seed=seed)
+            )
+            cover = reporter.solution()
+            assert len(cover.set_ids) <= 6
+            best_true = max(best_true, system.coverage(cover.set_ids))
+        assert best_true >= opt / 10

@@ -1,0 +1,106 @@
+"""Tests for the L0 / distinct-elements sketch (Theorem 2.12)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.base import StreamConsumedError
+from repro.sketch.l0 import L0Sketch
+
+
+class TestExactRegime:
+    """Below ``sketch_size`` distinct items the count is exact."""
+
+    def test_empty_stream(self):
+        assert L0Sketch(sketch_size=16, seed=1).estimate() == 0.0
+
+    def test_single_item(self):
+        sk = L0Sketch(sketch_size=16, seed=1)
+        sk.process(42)
+        assert sk.estimate() == 1.0
+
+    def test_duplicates_not_double_counted(self):
+        sk = L0Sketch(sketch_size=16, seed=1)
+        for _ in range(100):
+            sk.process(7)
+        assert sk.estimate() == 1.0
+
+    def test_exact_below_sketch_size(self):
+        sk = L0Sketch(sketch_size=64, seed=2)
+        for x in range(40):
+            sk.process(x)
+            sk.process(x)  # duplicates
+        assert sk.estimate() == 40.0
+
+
+class TestApproximateRegime:
+    @pytest.mark.parametrize("distinct", [500, 2000, 10000])
+    def test_within_half_factor(self, distinct):
+        """Theorem 2.12 promises (1 +/- 1/2); KMV at size 64 is tighter."""
+        sk = L0Sketch(sketch_size=64, seed=3)
+        for x in range(distinct):
+            sk.process(x)
+        est = sk.estimate()
+        assert distinct / 2 <= est <= distinct * 3 / 2
+
+    def test_insertion_order_invariant(self):
+        a = L0Sketch(sketch_size=32, seed=4)
+        b = L0Sketch(sketch_size=32, seed=4)
+        items = list(range(1000))
+        for x in items:
+            a.process(x)
+        for x in reversed(items):
+            b.process(x)
+        assert a.estimate() == b.estimate()
+
+    def test_duplicates_do_not_change_estimate(self):
+        a = L0Sketch(sketch_size=32, seed=5)
+        b = L0Sketch(sketch_size=32, seed=5)
+        for x in range(800):
+            a.process(x)
+            b.process(x)
+            b.process(x % 100)  # extra duplicates
+        assert a.estimate() == b.estimate()
+
+    def test_median_quality_across_seeds(self):
+        errors = []
+        for seed in range(20):
+            sk = L0Sketch(sketch_size=64, seed=seed)
+            for x in range(3000):
+                sk.process(x)
+            errors.append(abs(sk.estimate() - 3000) / 3000)
+        errors.sort()
+        assert errors[len(errors) // 2] < 0.25  # median error under 25%
+
+
+class TestProtocol:
+    def test_estimate_finalises(self):
+        sk = L0Sketch(sketch_size=16, seed=1)
+        sk.process(1)
+        sk.estimate()
+        with pytest.raises(StreamConsumedError):
+            sk.process(2)
+
+    def test_space_bounded_by_sketch_size(self):
+        sk = L0Sketch(sketch_size=32, seed=1)
+        for x in range(10000):
+            sk.process(x)
+        # 32 heap slots + hash coefficients + bookkeeping.
+        assert sk.space_words() <= 32 + 16 + 1
+
+    def test_rejects_tiny_sketch(self):
+        with pytest.raises(ValueError):
+            L0Sketch(sketch_size=1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_never_negative_and_bounded(self, items):
+        sk = L0Sketch(sketch_size=8, seed=9)
+        for x in items:
+            sk.process(x)
+        est = sk.estimate()
+        assert est >= 0
+        if len(set(items)) < 8:
+            assert est == len(set(items))

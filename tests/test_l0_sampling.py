@@ -1,0 +1,83 @@
+"""Tests for the L0-sampler."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.sketch.l0_sampling import L0Sampler
+
+
+class TestSampling:
+    def test_returns_distinct_stream_items(self):
+        sampler = L0Sampler(samples=5, seed=1)
+        for x in [3, 7, 7, 7, 11, 3]:
+            sampler.process(x)
+        out = sampler.sample()
+        assert sorted(out) == [3, 7, 11]
+
+    def test_sample_count_capped(self):
+        sampler = L0Sampler(samples=4, seed=2)
+        for x in range(100):
+            sampler.process(x)
+        assert len(sampler.sample()) == 4
+
+    def test_duplicates_do_not_bias(self):
+        """Heavily repeated items are not favoured: sampling is over
+        *distinct* items (the L0 semantics)."""
+        counts: Counter = Counter()
+        for seed in range(300):
+            sampler = L0Sampler(samples=1, seed=seed)
+            for _ in range(50):
+                sampler.process(0)  # heavy item
+            for x in range(1, 10):
+                sampler.process(x)
+            counts[sampler.sample()[0]] += 1
+        # Item 0 should win ~1/10 of the time, far below a frequency-
+        # weighted sampler's ~85%.
+        assert counts[0] < 90
+
+    def test_roughly_uniform_over_distinct(self):
+        counts: Counter = Counter()
+        for seed in range(400):
+            sampler = L0Sampler(samples=1, seed=seed)
+            for x in range(8):
+                sampler.process(x)
+            counts[sampler.sample()[0]] += 1
+        # Each of 8 items expects 50 hits; allow a wide band.
+        assert all(15 <= counts[x] <= 110 for x in range(8))
+
+    def test_empty_stream(self):
+        assert L0Sampler(samples=3, seed=1).sample() == []
+
+    def test_distinct_estimate_matches_kmv(self):
+        sampler = L0Sampler(samples=32, seed=3)
+        for x in range(1000):
+            sampler.process(x)
+        est = sampler.distinct_estimate()
+        assert 500 <= est <= 1500
+
+    def test_exact_count_below_capacity(self):
+        sampler = L0Sampler(samples=16, seed=4)
+        for x in range(10):
+            sampler.process(x)
+        assert sampler.distinct_estimate() == 10.0
+
+    def test_finalises(self):
+        sampler = L0Sampler(samples=2, seed=1)
+        sampler.process(1)
+        sampler.sample()
+        with pytest.raises(StreamConsumedError):
+            sampler.process(2)
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            L0Sampler(samples=0)
+
+    def test_space_bounded(self):
+        sampler = L0Sampler(samples=8, seed=1)
+        for x in range(10000):
+            sampler.process(x)
+        assert sampler.space_words() <= 2 * 8 + 16 + 1

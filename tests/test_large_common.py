@@ -1,0 +1,99 @@
+"""Tests for the LargeCommon subroutine (Section 4.1, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.core.large_common import LargeCommon
+from repro.core.parameters import Parameters
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.edge_stream import EdgeStream
+from repro.streams.generators import common_heavy, planted_cover
+
+
+def _run(workload, k, alpha, seed=0, order_seed=1):
+    system = workload.system
+    params = Parameters.practical(m=system.m, n=system.n, k=k, alpha=alpha)
+    stream = EdgeStream.from_system(system, order="random", seed=order_seed)
+    algo = LargeCommon(params, seed=seed)
+    algo.process_stream(stream)
+    return algo
+
+
+class TestDetection:
+    def test_feasible_on_common_heavy_instances(self, common_workload):
+        algo = _run(common_workload, k=6, alpha=3.0, seed=2)
+        assert algo.estimate() is not None
+
+    def test_estimate_within_alpha_of_optimum(self, common_workload):
+        k, alpha = 6, 3.0
+        opt = lazy_greedy(common_workload.system, k).coverage
+        values = []
+        for seed in range(5):
+            algo = _run(common_workload, k=k, alpha=alpha, seed=seed)
+            est = algo.estimate()
+            if est is not None:
+                values.append(est)
+        assert values, "LargeCommon must fire on its own regime"
+        # Theorem 4.4: output >= sigma |U| / (6 alpha), never > OPT (w.h.p.).
+        for value in values:
+            assert value <= opt * 1.5
+        params = Parameters.practical(
+            common_workload.system.m, common_workload.system.n, k, alpha
+        )
+        assert max(values) >= params.sigma * common_workload.system.n / (
+            6 * alpha
+        )
+
+    def test_never_wildly_overestimates(self, common_workload):
+        """Soundness across seeds: output stays below the true optimum
+        (allowing the L0 sketch's constant-factor noise)."""
+        k = 6
+        opt = lazy_greedy(common_workload.system, k).coverage
+        for seed in range(8):
+            est = _run(common_workload, k=k, alpha=3.0, seed=seed).estimate()
+            if est is not None:
+                assert est <= 1.5 * opt
+
+
+class TestLayerStructure:
+    def test_layer_count_logarithmic(self, common_workload):
+        system = common_workload.system
+        params = Parameters.practical(system.m, system.n, k=6, alpha=16.0)
+        algo = LargeCommon(params, seed=1)
+        assert len(algo.betas) <= 6  # 1, 2, 4, 8, 16, (32 if <= 2 alpha)
+        assert all(beta <= 2 * 16.0 for beta in algo.betas)
+
+    def test_layer_coverages_monotone_in_beta(self, common_workload):
+        """Larger beta_g samples more sets, so measured coverage grows."""
+        algo = _run(common_workload, k=6, alpha=8.0, seed=3)
+        layers = algo.layer_coverages()
+        assert layers[0][1] <= layers[-1][1] * 1.5 + 16
+
+    def test_space_is_polylog(self, common_workload):
+        algo = _run(common_workload, k=6, alpha=8.0, seed=1)
+        # log(alpha) layers of O~(1): far below m.
+        assert algo.space_words() < 10 * common_workload.system.m
+
+
+class TestProtocol:
+    def test_estimate_finalises(self, common_workload):
+        algo = _run(common_workload, k=6, alpha=3.0)
+        algo.estimate()
+        with pytest.raises(StreamConsumedError):
+            algo.process(0, 0)
+
+    def test_sound_on_sparse_instances(self):
+        """On an instance with no common elements LargeCommon may still
+        fire (its practical threshold is generous), but Lemma 4.7's real
+        content survives: the certified value stays far below what the
+        dense-common case would certify, and never exceeds the optimum."""
+        workload = planted_cover(
+            n=300, m=150, k=6, coverage_frac=0.9, noise_size=1, seed=9
+        )
+        opt = lazy_greedy(workload.system, 6).coverage
+        for seed in range(5):
+            est = _run(workload, k=6, alpha=4.0, seed=seed).estimate()
+            if est is not None:
+                assert est <= 1.5 * opt

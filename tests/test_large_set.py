@@ -1,0 +1,134 @@
+"""Tests for the LargeSet subroutine (Section 4.2 / Appendix B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.base import StreamConsumedError
+from repro.core.large_set import LargeSet, LargeSetRun
+from repro.core.parameters import Parameters
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.edge_stream import EdgeStream
+from repro.streams.generators import few_large_sets, planted_cover
+
+
+def _params(workload, k, alpha):
+    system = workload.system
+    return Parameters.practical(m=system.m, n=system.n, k=k, alpha=alpha)
+
+
+def _stream(workload, seed=1):
+    return EdgeStream.from_system(workload.system, order="random", seed=seed)
+
+
+class TestLargeSetRun:
+    def test_simple_variant_finds_dominant_superset(self, large_set_workload):
+        """With element_sampler=None this is LargeSetSimple (Figure 4)."""
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        hits = 0
+        for seed in range(5):
+            run = LargeSetRun(params, element_sampler=None, seed=seed)
+            run.process_stream(_stream(large_set_workload))
+            outcome = run.outcome()
+            if outcome is None:
+                continue
+            members = run.superset_members(outcome.superset_id)
+            if set(members) & set(large_set_workload.planted_ids):
+                hits += 1
+        assert hits >= 3
+
+    def test_superset_members_consistent_with_partition(self, large_set_workload):
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        run = LargeSetRun(params, element_sampler=None, seed=1)
+        members = run.superset_members(0)
+        assert all(run._partition(j) == 0 for j in members)
+
+    def test_thresholds_scale_with_sample(self, large_set_workload):
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        run = LargeSetRun(params, element_sampler=None, seed=1)
+        thr1, thr2 = run.thresholds()
+        assert thr1 < thr2  # s * alpha > alpha denominators flip
+        assert thr2 == pytest.approx(
+            params.n / (6 * params.eta * params.alpha)
+        )
+
+    def test_rejects_bad_w(self, large_set_workload):
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        with pytest.raises(ValueError):
+            LargeSetRun(params, w=0)
+
+
+class TestLargeSet:
+    def test_fires_on_few_large_sets(self, large_set_workload):
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        hits = 0
+        for seed in range(5):
+            algo = LargeSet(params, seed=seed)
+            algo.process_stream(_stream(large_set_workload))
+            if algo.estimate() is not None:
+                hits += 1
+        assert hits >= 4
+
+    def test_estimate_sound_and_useful(self, large_set_workload):
+        k, alpha = 6, 3.0
+        params = _params(large_set_workload, k=k, alpha=alpha)
+        opt = lazy_greedy(large_set_workload.system, k).coverage
+        values = []
+        for seed in range(5):
+            algo = LargeSet(params, seed=seed)
+            algo.process_stream(_stream(large_set_workload))
+            est = algo.estimate()
+            if est is not None:
+                values.append(est)
+        assert values
+        for value in values:
+            assert value <= 1.5 * opt          # soundness
+        assert max(values) >= opt / (10 * alpha)  # usefulness (O~(alpha))
+
+    def test_paper_mode_returns_fixed_certificate(self, large_set_workload):
+        system = large_set_workload.system
+        params = Parameters.paper(system.m, system.n, k=6, alpha=3.0)
+        algo = LargeSet(params, runs=2, seed=1)
+        algo.process_stream(_stream(large_set_workload))
+        est = algo.estimate()
+        if est is not None:
+            expected = system.n / (54 * params.f * params.eta * params.alpha)
+            assert est == pytest.approx(expected)
+
+    def test_space_shrinks_with_alpha(self, large_set_workload):
+        system = large_set_workload.system
+        spaces = []
+        for alpha in (2.0, 8.0):
+            params = Parameters.practical(system.m, system.n, 6, alpha)
+            algo = LargeSet(params, seed=1)
+            algo.process_stream(_stream(large_set_workload))
+            algo.estimate()
+            spaces.append(algo.space_words())
+        assert spaces[1] < spaces[0]
+
+    def test_estimate_finalises(self, large_set_workload):
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        algo = LargeSet(params, seed=1)
+        algo.process_stream(_stream(large_set_workload))
+        algo.estimate()
+        with pytest.raises(StreamConsumedError):
+            algo.process(0, 0)
+
+    def test_rejects_bad_runs(self, large_set_workload):
+        params = _params(large_set_workload, k=6, alpha=3.0)
+        with pytest.raises(ValueError):
+            LargeSet(params, runs=0)
+
+    def test_rarely_fires_spuriously_large(self, planted_workload):
+        """On a many-small-sets instance the estimate must stay sound
+        (it may fire -- small sets also land in supersets -- but the
+        value cannot exceed the optimum)."""
+        k, alpha = 6, 3.0
+        params = _params(planted_workload, k=k, alpha=alpha)
+        opt = lazy_greedy(planted_workload.system, k).coverage
+        for seed in range(5):
+            algo = LargeSet(params, seed=seed)
+            algo.process_stream(_stream(planted_workload))
+            est = algo.estimate()
+            if est is not None:
+                assert est <= 1.5 * opt

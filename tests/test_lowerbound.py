@@ -1,0 +1,113 @@
+"""Tests for the Section 5 lower-bound machinery."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.coverage.exact import exact_max_cover
+from repro.lowerbound.communication import (
+    L2Distinguisher,
+    run_distinguisher_experiment,
+)
+from repro.lowerbound.disjointness import make_disjointness_instance
+
+
+class TestInstancePromise:
+    def test_yes_case_sets_pairwise_disjoint(self):
+        inst = make_disjointness_instance(m=200, players=4, no_case=False, seed=1)
+        system = inst.stream.to_system()
+        # Every set covers at most one player-element (Claim 5.4).
+        assert all(system.set_size(j) <= 1 for j in range(system.m))
+
+    def test_no_case_has_unique_common_item(self):
+        inst = make_disjointness_instance(m=200, players=4, no_case=True, seed=2)
+        system = inst.stream.to_system()
+        sizes = Counter(system.set_size(j) for j in range(system.m))
+        assert sizes[4] == 1  # exactly one set covers all players
+        assert system.set_contents(inst.common_item) == set(range(4))
+
+    def test_optimal_coverage_matches_claims(self):
+        """Claims 5.3 / 5.4 verified against the exact solver."""
+        yes = make_disjointness_instance(m=60, players=3, no_case=False, seed=3)
+        no = make_disjointness_instance(m=60, players=3, no_case=True, seed=3)
+        assert exact_max_cover(yes.stream.to_system(), 1)[1] == 1
+        assert exact_max_cover(no.stream.to_system(), 1)[1] == 3
+        assert yes.optimal_coverage == 1
+        assert no.optimal_coverage == 3
+
+    def test_player_order_is_one_way(self):
+        inst = make_disjointness_instance(m=100, players=5, no_case=True, seed=4)
+        players = [e for _, e in inst.stream]
+        assert players == sorted(players)
+
+    def test_same_set_sizes_across_cases(self):
+        """Yes/No instances are indistinguishable by degree counting."""
+        yes = make_disjointness_instance(m=100, players=4, no_case=False, seed=5)
+        no = make_disjointness_instance(m=100, players=4, no_case=True, seed=5)
+        assert len(yes.stream) + 4 == len(no.stream)  # only the common item
+
+    def test_rejects_impossible_shapes(self):
+        with pytest.raises(ValueError):
+            make_disjointness_instance(m=1, players=4, no_case=True)
+        with pytest.raises(ValueError):
+            make_disjointness_instance(m=100, players=1, no_case=True)
+        with pytest.raises(ValueError):
+            make_disjointness_instance(
+                m=10, players=4, no_case=True, per_player_items=10
+            )
+
+
+class TestDistinguisher:
+    def test_high_width_distinguishes(self):
+        """At width >> m/alpha^2 the sketch separates Yes from No."""
+        correct = 0
+        for seed in range(10):
+            no_case = seed % 2 == 0
+            inst = make_disjointness_instance(
+                m=300, players=8, no_case=no_case, seed=seed
+            )
+            algo = L2Distinguisher(300, 8, width=256, seed=seed + 100)
+            algo.process_stream(inst.stream)
+            if algo.decide_no_case() == no_case:
+                correct += 1
+        assert correct >= 9
+
+    def test_width_one_fails(self):
+        """A single bucket cannot carry the signal."""
+        correct = 0
+        trials = 12
+        for seed in range(trials):
+            no_case = seed % 2 == 0
+            inst = make_disjointness_instance(
+                m=300, players=8, no_case=no_case, seed=seed
+            )
+            algo = L2Distinguisher(300, 8, width=1, depth=1, seed=seed + 50)
+            algo.process_stream(inst.stream)
+            if algo.decide_no_case() == no_case:
+                correct += 1
+        assert correct <= trials - 2
+
+    def test_max_estimate_tracks_linf(self):
+        inst = make_disjointness_instance(m=200, players=6, no_case=True, seed=7)
+        algo = L2Distinguisher(200, 6, width=512, seed=8)
+        algo.process_stream(inst.stream)
+        assert algo.max_set_size_estimate() == pytest.approx(6, abs=2.5)
+
+    def test_experiment_accuracy_increases_with_width(self):
+        reports = run_distinguisher_experiment(
+            m=300, players=8, widths=[2, 256], trials=10, seed=9
+        )
+        assert reports[-1].accuracy >= reports[0].accuracy
+        assert reports[-1].accuracy >= 0.9
+
+    def test_experiment_reports_space(self):
+        reports = run_distinguisher_experiment(
+            m=100, players=4, widths=[4, 64], trials=4, seed=10
+        )
+        assert reports[0].space_words < reports[1].space_words
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            L2Distinguisher(100, 4, width=0)

@@ -1,0 +1,108 @@
+"""Tests for sketch mergeability (distributed / sharded streams).
+
+The linear sketches the paper builds on are mergeable, which is what
+makes its algorithms distributable: running shards separately and
+merging must reproduce the single-stream sketch exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketch.countsketch import CountSketch, F2HeavyHitter
+from repro.sketch.f2 import F2Sketch
+from repro.sketch.l0 import L0Sketch
+
+
+def _shard(items, parts=3):
+    return [items[i::parts] for i in range(parts)]
+
+
+class TestL0Merge:
+    def test_merge_equals_single_stream(self):
+        items = [x % 700 for x in range(3000)]
+        single = L0Sketch(sketch_size=32, seed=5)
+        for x in items:
+            single.process(x)
+
+        shards = [L0Sketch(sketch_size=32, seed=5) for _ in range(3)]
+        for sketch, part in zip(shards, _shard(items)):
+            for x in part:
+                sketch.process(x)
+        merged = shards[0].merge(shards[1]).merge(shards[2])
+        assert merged.estimate() == single.estimate()
+
+    def test_merge_rejects_mismatched_seed(self):
+        with pytest.raises(ValueError):
+            L0Sketch(seed=1).merge(L0Sketch(seed=2))
+
+    def test_merge_rejects_mismatched_size(self):
+        with pytest.raises(ValueError):
+            L0Sketch(sketch_size=16, seed=1).merge(
+                L0Sketch(sketch_size=32, seed=1)
+            )
+
+    def test_merge_rejects_foreign_type(self):
+        with pytest.raises(TypeError):
+            L0Sketch(seed=1).merge(F2Sketch(seed=1))
+
+
+class TestF2Merge:
+    def test_merge_equals_single_stream(self):
+        items = [x % 40 for x in range(1000)]
+        single = F2Sketch(means=8, medians=3, seed=6)
+        for x in items:
+            single.process(x)
+        shards = [F2Sketch(means=8, medians=3, seed=6) for _ in range(3)]
+        for sketch, part in zip(shards, _shard(items)):
+            for x in part:
+                sketch.process(x)
+        merged = shards[0].merge(shards[1]).merge(shards[2])
+        assert merged.estimate() == single.estimate()
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            F2Sketch(means=8, seed=1).merge(F2Sketch(means=16, seed=1))
+
+
+class TestCountSketchMerge:
+    def test_merge_equals_single_stream(self):
+        items = [x % 25 for x in range(500)]
+        single = CountSketch(width=64, depth=3, seed=7)
+        for x in items:
+            single.update(x)
+        shards = [CountSketch(width=64, depth=3, seed=7) for _ in range(2)]
+        for sketch, part in zip(shards, _shard(items, 2)):
+            for x in part:
+                sketch.update(x)
+        merged = shards[0].merge(shards[1])
+        for x in range(25):
+            assert merged.query(x) == single.query(x)
+        assert merged.f2_estimate() == single.f2_estimate()
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=8, seed=1).merge(CountSketch(width=16, seed=1))
+
+
+class TestHeavyHitterMerge:
+    def test_merged_shards_find_heavy_item(self):
+        items = [42] * 900 + list(range(100, 400))
+        shards = [F2HeavyHitter(phi=0.1, seed=8) for _ in range(3)]
+        for sketch, part in zip(shards, _shard(items)):
+            for x in part:
+                sketch.process(x)
+        merged = shards[0].merge(shards[1]).merge(shards[2])
+        out = merged.heavy_hitters()
+        assert 42 in out
+        assert out[42] == pytest.approx(900, rel=0.5)
+
+    def test_merge_rejects_mismatched_phi(self):
+        with pytest.raises(ValueError):
+            F2HeavyHitter(phi=0.1, seed=1).merge(
+                F2HeavyHitter(phi=0.2, seed=1)
+            )
+
+    def test_merge_rejects_foreign_type(self):
+        with pytest.raises(TypeError):
+            F2HeavyHitter(phi=0.1, seed=1).merge(CountSketch(seed=1))

@@ -1,0 +1,132 @@
+"""Tests for the (alpha, delta, eta)-oracle dispatcher (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import Oracle
+from repro.core.parameters import Parameters
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.edge_stream import EdgeStream
+
+
+def _run(workload, k=6, alpha=3.0, seed=0, enable=None):
+    system = workload.system
+    params = Parameters.practical(m=system.m, n=system.n, k=k, alpha=alpha)
+    stream = EdgeStream.from_system(system, order="random", seed=1)
+    oracle = Oracle(params, seed=seed, enable=enable)
+    oracle.process_stream(stream)
+    return oracle
+
+
+class TestRegimes:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["planted_workload", "large_set_workload", "common_workload"],
+    )
+    def test_useful_estimate_per_regime(self, fixture_name, request):
+        """Each structural regime lands in some subroutine's win zone."""
+        workload = request.getfixturevalue(fixture_name)
+        k, alpha = 6, 3.0
+        opt = lazy_greedy(workload.system, k).coverage
+        best = 0.0
+        for seed in range(3):
+            best = max(best, _run(workload, k, alpha, seed).estimate())
+        assert best >= opt / (8 * alpha)
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["planted_workload", "large_set_workload", "common_workload"],
+    )
+    def test_soundness_per_regime(self, fixture_name, request):
+        workload = request.getfixturevalue(fixture_name)
+        k = 6
+        opt = lazy_greedy(workload.system, k).coverage
+        for seed in range(3):
+            assert _run(workload, k, 3.0, seed).estimate() <= 1.5 * opt
+
+
+class TestProvenance:
+    def test_reports_winning_subroutine(self, planted_workload):
+        result = _run(planted_workload, seed=1).oracle_estimate()
+        assert result.source in (
+            "large_common",
+            "large_set",
+            "small_set",
+            "infeasible",
+        )
+        if result.source != "infeasible":
+            assert result.value == result.per_subroutine[result.source]
+
+    def test_per_subroutine_keys_match_enabled(self, planted_workload):
+        oracle = _run(planted_workload, enable=["large_common"], seed=1)
+        result = oracle.oracle_estimate()
+        assert set(result.per_subroutine) == {"large_common"}
+
+    def test_value_is_max_of_parts(self, large_set_workload):
+        result = _run(large_set_workload, seed=2).oracle_estimate()
+        feasible = [
+            v for v in result.per_subroutine.values() if v is not None
+        ]
+        if feasible:
+            assert result.value == max(feasible)
+        else:
+            assert result.value == 0.0
+
+
+class TestAblation:
+    def test_disabling_small_set_hurts_small_regime(self, planted_workload):
+        """The planted (many small sets) regime needs SmallSet: without it
+        the remaining subroutines estimate far less."""
+        k, alpha = 6, 3.0
+        full = max(
+            _run(planted_workload, k, alpha, s).estimate() for s in range(3)
+        )
+        crippled = max(
+            _run(
+                planted_workload,
+                k,
+                alpha,
+                s,
+                enable=["large_common", "large_set"],
+            ).estimate()
+            for s in range(3)
+        )
+        assert crippled < full
+
+    def test_unknown_subroutine_rejected(self, planted_workload):
+        system = planted_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        with pytest.raises(ValueError, match="unknown subroutines"):
+            Oracle(params, enable=["magic"])
+
+
+class TestBranching:
+    def test_small_set_skipped_when_alpha_large(self):
+        """Figure 2: when s*alpha >= 2k (practical: alpha >= 2k), only
+        LargeCommon and LargeSet are constructed."""
+        params = Parameters.practical(m=200, n=200, k=3, alpha=16.0)
+        oracle = Oracle(params, seed=1)
+        assert oracle.small_set is None
+        assert oracle.large_set is not None
+
+    def test_small_set_present_when_alpha_small(self):
+        params = Parameters.practical(m=200, n=200, k=20, alpha=3.0)
+        oracle = Oracle(params, seed=1)
+        assert oracle.small_set is not None
+
+
+class TestSpace:
+    def test_space_is_sum_of_parts(self, planted_workload):
+        oracle = _run(planted_workload, seed=1)
+        oracle.estimate()
+        parts = sum(
+            sub.space_words()
+            for sub in (
+                oracle.large_common,
+                oracle.large_set,
+                oracle.small_set,
+            )
+            if sub is not None
+        )
+        assert oracle.space_words() == parts

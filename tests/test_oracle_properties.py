@@ -1,0 +1,90 @@
+"""Property-based soundness tests for the oracle on random instances.
+
+Hypothesis generates arbitrary small set systems; the oracle's soundness
+half (never wildly overestimating the optimum) must hold on *every* one
+of them, not just the benchmark families.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import EdgeStream, Parameters
+from repro.core.oracle import Oracle
+from repro.coverage.exact import optimal_coverage
+from repro.coverage.setsystem import SetSystem
+
+# Random systems: 2-10 sets over a universe of 40.
+random_systems = st.lists(
+    st.sets(st.integers(min_value=0, max_value=39), min_size=1, max_size=15),
+    min_size=2,
+    max_size=10,
+).map(lambda sets: SetSystem(sets, n=40))
+
+
+class TestOracleSoundnessProperty:
+    @given(system=random_systems, seed=st.integers(0, 2**31))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_never_exceeds_universe_or_blows_past_opt(self, system, seed):
+        k = min(3, system.m)
+        opt = optimal_coverage(system, k)
+        params = Parameters.practical(system.m, system.n, k, 2.0)
+        oracle = Oracle(params, seed=seed)
+        oracle.process_batch(
+            *EdgeStream.from_system(system, order="set_major").as_arrays()
+        )
+        estimate = oracle.estimate()
+        assert estimate <= system.n
+        # Soundness with a generous sketch-noise envelope on tiny inputs:
+        # the estimate may wobble by small additive noise but must never
+        # report multiples of the true optimum.
+        assert estimate <= 2 * opt + 10
+
+    @given(system=random_systems)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_estimate_deterministic_per_seed(self, system):
+        k = min(3, system.m)
+        params = Parameters.practical(system.m, system.n, k, 2.0)
+        arrays = EdgeStream.from_system(
+            system, order="set_major"
+        ).as_arrays()
+        values = set()
+        for _ in range(2):
+            oracle = Oracle(params, seed=99)
+            oracle.process_batch(*arrays)
+            values.add(round(oracle.estimate(), 9))
+        assert len(values) == 1
+
+
+class TestReducedInstanceProperty:
+    @given(
+        system=random_systems,
+        z=st.integers(min_value=2, max_value=64),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_composes_with_exact_solver(self, system, z, seed):
+        """Universe reduction never raises the exact optimum -- the
+        composition EstimateMaxCover relies on, checked directly."""
+        from repro.core.universe_reduction import UniverseReducer
+
+        k = min(2, system.m)
+        reducer = UniverseReducer(z, seed=seed)
+        reduced = SetSystem(
+            [
+                {reducer.map_element(e) for e in system.set_contents(j)}
+                for j in range(system.m)
+            ],
+            n=z,
+        )
+        assert optimal_coverage(reduced, k) <= optimal_coverage(system, k)

@@ -1,0 +1,131 @@
+"""Tests for the Table 2 parameter schedule."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import Parameters
+
+
+class TestPaperMode:
+    def test_table2_formulas(self):
+        p = Parameters.paper(m=1000, n=2000, k=10, alpha=8.0)
+        log2mn = math.log2(1000 * 2000)
+        assert p.eta == 4.0
+        assert p.w == min(10, 8)
+        assert p.f == pytest.approx(7 * log2mn)
+        assert p.sigma == pytest.approx(1 / (2500 * log2mn**2))
+        assert p.t == pytest.approx(5000 * log2mn**2 / p.s)
+
+    def test_s_fixed_point_is_consistent(self):
+        p = Parameters.paper(m=500, n=500, k=6, alpha=4.0)
+        log2mn = math.log2(500 * 500)
+        log_sa = max(1.0, math.log2(max(2.0, p.s * p.alpha)))
+        expected = (9 / 5000) * p.w / (
+            p.alpha * math.sqrt(2 * p.eta * log_sa) * log2mn**2
+        )
+        assert p.s == pytest.approx(expected, rel=1e-9)
+
+    def test_s_below_one(self):
+        """Definition 4.2 requires s < 1."""
+        for alpha in (2.0, 8.0, 32.0):
+            assert Parameters.paper(10**4, 10**4, 100, alpha).s < 1
+
+    def test_w_is_min_k_alpha(self):
+        assert Parameters.paper(100, 100, 3, 10.0).w == 3
+        assert Parameters.paper(100, 100, 50, 10.0).w == 10
+
+
+class TestPracticalMode:
+    def test_structure_preserved(self):
+        p = Parameters.practical(m=1000, n=2000, k=10, alpha=8.0)
+        assert p.eta == 4.0
+        assert p.w == 8
+        assert 0 < p.s < 1
+        assert p.s == pytest.approx(min(0.9, 2.0 * p.w / p.alpha))
+        assert p.f >= 1
+        assert 0 < p.sigma < 1
+
+    def test_t_s_product_constant(self):
+        """LargeSet's sample size t*s*alpha*eta must be Theta(alpha)."""
+        for alpha in (2.0, 8.0, 32.0):
+            p = Parameters.practical(1000, 4000, 50, alpha)
+            assert p.t * p.s == pytest.approx(8.0)
+
+    def test_mode_recorded(self):
+        assert Parameters.paper(10, 10, 2, 2.0).mode == "paper"
+        assert Parameters.practical(10, 10, 2, 2.0).mode == "practical"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("maker", [Parameters.paper, Parameters.practical])
+    def test_rejects_bad_shapes(self, maker):
+        with pytest.raises(ValueError):
+            maker(0, 10, 1, 2.0)
+        with pytest.raises(ValueError):
+            maker(10, 0, 1, 2.0)
+        with pytest.raises(ValueError):
+            maker(10, 10, 0, 2.0)
+        with pytest.raises(ValueError):
+            maker(10, 10, 20, 2.0)  # k > m
+        with pytest.raises(ValueError):
+            maker(10, 10, 2, 0.5)  # alpha < 1
+
+
+class TestDerived:
+    def test_rho_is_a_probability(self):
+        for n in (100, 10**4, 10**6):
+            p = Parameters.practical(m=1000, n=n, k=10, alpha=4.0)
+            assert 0 < p.rho <= 1
+
+    def test_rho_shrinks_with_universe(self):
+        small = Parameters.practical(1000, 10**3, 10, 4.0)
+        large = Parameters.practical(1000, 10**6, 10, 4.0)
+        assert large.rho < small.rho
+
+    def test_superset_count_scales(self):
+        p = Parameters.practical(m=1000, n=1000, k=10, alpha=4.0)
+        assert p.superset_count() == math.ceil(2 * 1000 / p.w)
+
+    def test_phi1_tracks_alpha_squared_over_m(self):
+        p2 = Parameters.practical(1000, 1000, 100, 2.0)
+        p8 = Parameters.practical(1000, 1000, 100, 8.0)
+        assert p8.phi1() == pytest.approx(16 * p2.phi1())
+
+    def test_phi2_shrinks_slowly(self):
+        p2 = Parameters.practical(1000, 1000, 100, 2.0)
+        p64 = Parameters.practical(1000, 1000, 100, 64.0)
+        assert p64.phi2() < p2.phi2()
+        assert p64.phi2() > p2.phi2() / 8
+
+    def test_phi_values_in_unit_interval(self):
+        for alpha in (1.5, 4.0, 30.0):
+            p = Parameters.practical(10**4, 10**4, 50, alpha)
+            assert 0 < p.phi1() <= 1
+            assert 0 < p.phi2() <= 1
+
+    def test_small_set_budget_tracks_inverse_alpha_squared(self):
+        p2 = Parameters.practical(10**5, 10**5, 100, 4.0)
+        p8 = Parameters.practical(10**5, 10**5, 100, 16.0)
+        assert p8.small_set_budget() < p2.small_set_budget()
+
+    def test_small_set_cover_size_at_most_k(self):
+        for alpha in (1.0, 3.0, 10.0, 100.0):
+            for mode in (Parameters.paper, Parameters.practical):
+                p = mode(1000, 1000, 20, alpha)
+                assert 1 <= p.small_set_cover_size() <= p.k
+
+    def test_large_set_dominates_branch(self):
+        # practical mode: alpha >= 2k.
+        assert Parameters.practical(100, 100, 4, 16.0).large_set_dominates
+        assert not Parameters.practical(100, 100, 16, 4.0).large_set_dominates
+
+    def test_with_universe_rederives(self):
+        p = Parameters.practical(m=500, n=10**4, k=10, alpha=4.0)
+        reduced = p.with_universe(64)
+        assert reduced.n == 64
+        assert reduced.m == p.m
+        assert reduced.mode == p.mode
+        assert reduced.rho >= p.rho  # denser sampling on tiny universes

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.exact import exact_max_cover
+from repro.coverage.greedy import greedy_max_cover, lazy_greedy
+from repro.coverage.setsystem import SetSystem
+from repro.core.universe_reduction import UniverseReducer
+from repro.sketch.l0 import L0Sketch
+from repro.streams.edge_stream import EdgeStream
+
+# A small random set system: up to 8 sets over a universe of 30.
+set_systems = st.lists(
+    st.sets(st.integers(min_value=0, max_value=29), max_size=10),
+    min_size=1,
+    max_size=8,
+).map(lambda sets: SetSystem(sets, n=30))
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=20),
+    ),
+    max_size=60,
+)
+
+
+class TestCoverageInvariants:
+    @given(set_systems, st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_monotone_in_k(self, system, k):
+        assert (
+            lazy_greedy(system, k).coverage
+            <= lazy_greedy(system, k + 1).coverage
+        )
+
+    @given(set_systems, st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_lazy_matches_plain_greedy(self, system, k):
+        assert (
+            lazy_greedy(system, k).coverage
+            == greedy_max_cover(system, k).coverage
+        )
+
+    @given(set_systems, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_bounded_by_exact(self, system, k):
+        greedy = lazy_greedy(system, k).coverage
+        _, exact = exact_max_cover(system, k)
+        assert greedy <= exact
+        # Nemhauser-Wolsey-Fisher: greedy >= (1 - 1/e) OPT > 0.63 OPT.
+        assert greedy >= 0.63 * exact - 1e-9
+
+    @given(set_systems)
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_subadditive(self, system):
+        ids = list(range(system.m))
+        union = system.coverage(ids)
+        total = sum(system.set_size(j) for j in ids)
+        assert union <= total
+        assert union <= system.n
+
+    @given(set_systems, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_solution_coverage_is_consistent(self, system, k):
+        result = lazy_greedy(system, k)
+        assert system.coverage(result.chosen) == result.coverage
+        assert len(result.chosen) <= k
+
+
+class TestStreamInvariants:
+    @given(edge_lists, st.sampled_from(["set_major", "random", "element_major"]))
+    @settings(max_examples=50, deadline=None)
+    def test_reordering_preserves_multiset(self, edges, order):
+        stream = EdgeStream(edges)
+        assert Counter(stream.reordered(order, seed=1)) == Counter(edges)
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_through_system(self, edges):
+        stream = EdgeStream(edges)
+        rebuilt = stream.to_system()
+        for set_id, element in edges:
+            assert element in rebuilt.set_contents(set_id)
+
+
+class TestSketchInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_l0_between_zero_and_stream_length(self, items):
+        sk = L0Sketch(sketch_size=16, seed=1)
+        for x in items:
+            sk.process(x)
+        est = sk.estimate()
+        assert 0 <= est
+        distinct = len(set(items))
+        if distinct < 16:
+            assert est == distinct
+        else:
+            assert est <= 4 * distinct
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6), max_size=100),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_universe_reduction_never_expands(self, elements, z):
+        reducer = UniverseReducer(z, seed=2)
+        image = reducer.image_size(elements)
+        assert image <= min(len(set(elements)), z)
+
+
+class TestSetSystemProperties:
+    @given(set_systems)
+    @settings(max_examples=40, deadline=None)
+    def test_frequencies_sum_to_total_size(self, system):
+        freq = system.element_frequencies()
+        assert sum(freq.values()) == system.total_size()
+
+    @given(set_systems)
+    @settings(max_examples=40, deadline=None)
+    def test_edges_roundtrip(self, system):
+        rebuilt = SetSystem.from_edges(system.edges(), m=system.m, n=system.n)
+        for j in range(system.m):
+            assert rebuilt.set_contents(j) == system.set_contents(j)
+
+    @given(set_systems, st.sets(st.integers(min_value=0, max_value=29)))
+    @settings(max_examples=40, deadline=None)
+    def test_restriction_bounds_coverage(self, system, elements):
+        reduced = system.restricted(elements=elements)
+        ids = list(range(system.m))
+        assert reduced.coverage(ids) <= system.coverage(ids)
+        assert reduced.coverage(ids) <= len(elements)

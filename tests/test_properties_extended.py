@@ -1,0 +1,98 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.hyperloglog import HyperLogLog
+from repro.sketch.l0 import L0Sketch
+from repro.sketch.serialize import load_sketch, save_sketch
+from repro.sketch.tabulation import TabulationHash
+
+item_lists = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=0, max_size=300
+)
+
+
+class TestHLLProperties:
+    @given(item_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_nonnegative_and_bounded(self, items):
+        hll = HyperLogLog(precision=6, seed=3)
+        for x in items:
+            hll.process(x)
+        est = hll.estimate()
+        distinct = len(set(items))
+        assert est >= 0
+        assert est <= 10 * distinct + 10
+
+    @given(item_lists, item_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_commutes(self, a_items, b_items):
+        def build(items):
+            hll = HyperLogLog(precision=5, seed=4)
+            for x in items:
+                hll.process(x)
+            return hll
+
+        ab = build(a_items).merge(build(b_items))
+        ba = build(b_items).merge(build(a_items))
+        assert np.array_equal(ab._registers, ba._registers)
+
+    @given(item_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_idempotent(self, items):
+        def build():
+            hll = HyperLogLog(precision=5, seed=5)
+            for x in items:
+                hll.process(x)
+            return hll
+
+        merged = build().merge(build())
+        assert merged.estimate() == build().estimate()
+
+
+class TestL0MergeProperties:
+    @given(item_lists, item_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_concatenation(self, a_items, b_items):
+        together = L0Sketch(sketch_size=8, seed=6)
+        for x in a_items + b_items:
+            together.process(x)
+        a = L0Sketch(sketch_size=8, seed=6)
+        for x in a_items:
+            a.process(x)
+        b = L0Sketch(sketch_size=8, seed=6)
+        for x in b_items:
+            b.process(x)
+        assert a.merge(b).estimate() == together.estimate()
+
+
+class TestTabulationProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_in_range(self, x):
+        h = TabulationHash(37, seed=7)
+        assert 0 <= h(x) < 37
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                    min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_vector_matches_scalar(self, xs):
+        h = TabulationHash(11, seed=8)
+        assert list(h(np.asarray(xs))) == [h(x) for x in xs]
+
+
+class TestSerializeProperties:
+    @given(items=item_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_preserves_estimate(self, tmp_path_factory, items):
+        path = tmp_path_factory.mktemp("ser") / "sk.npz"
+        sketch = L0Sketch(sketch_size=8, seed=9)
+        for x in items:
+            sketch.process(x)
+        save_sketch(sketch, path)
+        assert load_sketch(path).estimate() == sketch.estimate()

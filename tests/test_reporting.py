@@ -1,0 +1,114 @@
+"""Tests for the k-cover reporter (Theorem 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import Parameters
+from repro.core.reporting import MaxCoverReporter, ReportingLargeCommon
+from repro.coverage.greedy import lazy_greedy
+from repro.streams.edge_stream import EdgeStream
+
+
+def _report(workload, k=6, alpha=3.0, seed=0):
+    system = workload.system
+    reporter = MaxCoverReporter(
+        m=system.m, n=system.n, k=k, alpha=alpha, seed=seed
+    )
+    stream = EdgeStream.from_system(system, order="random", seed=1)
+    reporter.process_stream(stream)
+    return reporter.solution()
+
+
+class TestReportedCover:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["planted_workload", "large_set_workload", "common_workload"],
+    )
+    def test_returns_valid_ids(self, fixture_name, request):
+        workload = request.getfixturevalue(fixture_name)
+        cover = _report(workload)
+        system = workload.system
+        assert len(cover.set_ids) <= 6
+        assert all(0 <= j < system.m for j in cover.set_ids)
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["planted_workload", "large_set_workload", "common_workload"],
+    )
+    def test_true_coverage_within_alpha(self, fixture_name, request):
+        """The reported sets genuinely cover Omega~(OPT/alpha) elements."""
+        workload = request.getfixturevalue(fixture_name)
+        k, alpha = 6, 3.0
+        opt = lazy_greedy(workload.system, k).coverage
+        best_true = 0
+        for seed in range(3):
+            cover = _report(workload, k, alpha, seed)
+            best_true = max(best_true, workload.system.coverage(cover.set_ids))
+        assert best_true >= opt / (8 * alpha)
+
+    def test_claimed_close_to_true(self, planted_workload):
+        """The certificate must not wildly exceed the real coverage."""
+        for seed in range(3):
+            cover = _report(planted_workload, seed=seed)
+            if not cover.set_ids:
+                continue
+            true_cov = planted_workload.system.coverage(cover.set_ids)
+            assert cover.estimated_coverage <= 2 * true_cov + 8
+
+    def test_source_names_a_subroutine(self, planted_workload):
+        cover = _report(planted_workload)
+        assert cover.source in (
+            "large_common",
+            "large_set",
+            "small_set",
+            "infeasible",
+        )
+
+
+class TestReportingLargeCommon:
+    def test_group_members_match_hashes(self, common_workload):
+        system = common_workload.system
+        params = Parameters.practical(system.m, system.n, k=6, alpha=3.0)
+        algo = ReportingLargeCommon(params, seed=1)
+        stream = EdgeStream.from_system(system, order="random", seed=1)
+        algo.process_stream(stream)
+        best = algo.best_group()
+        if best is None:
+            pytest.skip("layer did not fire on this seed")
+        _value, layer, group = best
+        members = algo.group_members(layer, group)
+        assert members
+        for j in members:
+            assert algo._samplers[layer].contains(j)
+            assert algo._group_hashes[layer](j) == group
+
+    def test_groups_have_about_k_sets(self, common_workload):
+        """Observation 2.4: splitting ~beta*k sampled sets into beta
+        groups leaves ~k per group."""
+        system = common_workload.system
+        k = 6
+        params = Parameters.practical(system.m, system.n, k=k, alpha=4.0)
+        algo = ReportingLargeCommon(params, seed=2)
+        for layer in range(len(algo.betas)):
+            sampled = algo._samplers[layer].sampled_ids()
+            groups = max(1, int(round(algo.betas[layer])))
+            # Expected k per group; allow generous sampling slack.
+            assert len(sampled) <= 6 * groups * k
+
+    def test_space_scales_with_groups(self, common_workload):
+        system = common_workload.system
+        params = Parameters.practical(system.m, system.n, k=6, alpha=3.0)
+        algo = ReportingLargeCommon(params, seed=1)
+        stream = EdgeStream.from_system(system, order="random", seed=1)
+        algo.process_stream(stream)
+        assert algo.space_words() > 0
+
+
+class TestSpace:
+    def test_reporter_space_includes_k(self, planted_workload):
+        system = planted_workload.system
+        reporter = MaxCoverReporter(
+            m=system.m, n=system.n, k=6, alpha=3.0, seed=1
+        )
+        assert reporter.space_words() >= 6

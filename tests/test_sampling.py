@@ -1,0 +1,137 @@
+"""Tests for set sampling (Lemma 2.3) and element sampling (Lemma 2.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.greedy import lazy_greedy
+from repro.sketch.element_sampling import ElementSampler, element_sample_size
+from repro.sketch.set_sampling import SetSampler, common_element_threshold
+from repro.streams.generators import common_heavy, planted_cover
+
+
+class TestCommonElementThreshold:
+    def test_definition_shape(self):
+        # threshold = scale * m / lam (Definition 2.1).
+        assert common_element_threshold(1000, 10) == 100.0
+        assert common_element_threshold(1000, 10, scale=2.0) == 200.0
+
+    def test_monotone_in_lambda(self):
+        assert common_element_threshold(500, 50) < common_element_threshold(
+            500, 5
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            common_element_threshold(0, 1)
+        with pytest.raises(ValueError):
+            common_element_threshold(10, 0)
+
+
+class TestSetSampler:
+    def test_sample_size_concentrates(self):
+        sampler = SetSampler(m=5000, expected_size=100, seed=1)
+        size = sum(sampler.contains(j) for j in range(5000))
+        assert 40 <= size <= 200
+
+    def test_sampled_ids_matches_contains(self):
+        sampler = SetSampler(m=300, expected_size=30, seed=2)
+        ids = sampler.sampled_ids()
+        assert ids == [j for j in range(300) if sampler.contains(j)]
+
+    def test_expected_size_capped_at_m(self):
+        sampler = SetSampler(m=10, expected_size=1000, seed=1)
+        assert sampler.expected_size == 10
+        assert all(sampler.contains(j) for j in range(10))
+
+    def test_space_is_hash_only(self):
+        """Lemma A.7: Theta(log mn) words regardless of sample size."""
+        small = SetSampler(m=100, expected_size=10, seed=1)
+        huge = SetSampler(m=10**6, expected_size=10**5, seed=1, n=10**6)
+        assert huge.space_words() < 100
+        assert small.space_words() < 100
+
+    def test_covers_common_elements(self):
+        """Lemma 2.3: rate ~ beta*k/m covers the (beta*k)-common block."""
+        k, beta = 6, 2.0
+        workload = common_heavy(n=300, m=150, k=k, beta=beta, seed=3)
+        system = workload.system
+        threshold = system.m / (beta * k)
+        common = system.common_elements(threshold)
+        assert common, "generator must produce common elements"
+        hits = 0
+        trials = 10
+        for seed in range(trials):
+            sampler = SetSampler(
+                system.m, expected_size=4 * beta * k, seed=seed
+            )
+            covered = system.covered_elements(
+                [j for j in range(system.m) if sampler.contains(j)]
+            )
+            if len(common & covered) >= 0.9 * len(common):
+                hits += 1
+        assert hits >= 7
+
+    def test_covers_all_common_with_log_boost(self):
+        """With the Lemma 2.3 polylog factor, *every* common element is
+        covered w.h.p., not just most."""
+        k, beta = 6, 2.0
+        workload = common_heavy(n=300, m=150, k=k, beta=beta, seed=5)
+        system = workload.system
+        common = system.common_elements(system.m / (beta * k))
+        hits = 0
+        for seed in range(10):
+            sampler = SetSampler(
+                system.m, expected_size=12 * beta * k, seed=seed
+            )
+            covered = system.covered_elements(
+                [j for j in range(system.m) if sampler.contains(j)]
+            )
+            if common <= covered:
+                hits += 1
+        assert hits >= 7
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SetSampler(m=0, expected_size=1)
+        with pytest.raises(ValueError):
+            SetSampler(m=10, expected_size=0)
+
+
+class TestElementSampler:
+    def test_rate_concentrates(self):
+        sampler = ElementSampler(n=8000, expected_size=200, seed=1)
+        size = sum(sampler.contains(e) for e in range(8000))
+        assert 80 <= size <= 400
+
+    def test_scale_to_universe_inverts_rate(self):
+        sampler = ElementSampler(n=1000, expected_size=250, seed=2)
+        assert sampler.scale_to_universe(10) == pytest.approx(
+            10 / sampler.probability
+        )
+
+    def test_sample_size_formula(self):
+        # Theta~(eta * k), Lemma 2.5.
+        assert element_sample_size(k=10, eta=4.0, scale=2.0) == 80
+        with pytest.raises(ValueError):
+            element_sample_size(k=0, eta=4.0)
+        with pytest.raises(ValueError):
+            element_sample_size(k=5, eta=0.5)
+
+    def test_lemma_2_5_transfer(self):
+        """Greedy on a large element sample tracks greedy on the universe."""
+        workload = planted_cover(n=400, m=100, k=5, coverage_frac=0.9, seed=4)
+        system = workload.system
+        full = lazy_greedy(system, 5).coverage
+        sampler = ElementSampler(n=400, expected_size=200, seed=5)
+        sampled_elements = [e for e in range(400) if sampler.contains(e)]
+        reduced = system.restricted(elements=sampled_elements)
+        sampled_cov = lazy_greedy(reduced, 5).coverage
+        scaled = sampler.scale_to_universe(sampled_cov)
+        assert full / 2 <= scaled <= full * 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ElementSampler(n=0, expected_size=1)
+        with pytest.raises(ValueError):
+            ElementSampler(n=10, expected_size=-1)

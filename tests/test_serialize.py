@@ -1,0 +1,91 @@
+"""Tests for sketch checkpointing (save/restore round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.f2 import F2Sketch
+from repro.sketch.hyperloglog import HyperLogLog
+from repro.sketch.l0 import L0Sketch
+from repro.sketch.serialize import load_sketch, save_sketch
+
+
+class TestRoundTrip:
+    def test_l0(self, tmp_path):
+        sketch = L0Sketch(sketch_size=32, seed=5)
+        sketch.process_batch(np.arange(2000) % 700)
+        path = tmp_path / "l0.npz"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        assert restored.estimate() == sketch.estimate()
+
+    def test_f2(self, tmp_path):
+        sketch = F2Sketch(means=8, medians=3, seed=5)
+        sketch.process_batch(np.arange(500) % 40)
+        path = tmp_path / "f2.npz"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        assert restored.estimate() == sketch.estimate()
+
+    def test_countsketch(self, tmp_path):
+        sketch = CountSketch(width=64, depth=3, seed=5)
+        sketch.update_batch(np.arange(500) % 25)
+        path = tmp_path / "cs.npz"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        for x in range(25):
+            assert restored.query(x) == sketch.query(x)
+
+    def test_hyperloglog(self, tmp_path):
+        sketch = HyperLogLog(precision=9, seed=5)
+        sketch.process_batch(np.arange(3000))
+        path = tmp_path / "hll.npz"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        assert restored.estimate() == sketch.estimate()
+
+
+class TestContinuation:
+    def test_restored_sketch_continues_identically(self, tmp_path):
+        """Checkpoint mid-stream; the restored sketch must finish the
+        stream with the same result as an uninterrupted one."""
+        items = np.arange(4000) % 900
+        uninterrupted = L0Sketch(sketch_size=16, seed=7)
+        uninterrupted.process_batch(items)
+
+        first = L0Sketch(sketch_size=16, seed=7)
+        first.process_batch(items[:2000])
+        path = tmp_path / "ckpt.npz"
+        save_sketch(first, path)
+        resumed = load_sketch(path)
+        resumed.process_batch(items[2000:])
+        assert resumed.estimate() == uninterrupted.estimate()
+        assert resumed.tokens_seen == 4000
+
+    def test_restored_sketches_merge(self, tmp_path):
+        a = HyperLogLog(precision=8, seed=9)
+        a.process_batch(np.arange(0, 2000, 2))
+        b = HyperLogLog(precision=8, seed=9)
+        b.process_batch(np.arange(1, 2000, 2))
+        save_sketch(a, tmp_path / "a.npz")
+        save_sketch(b, tmp_path / "b.npz")
+        full = HyperLogLog(precision=8, seed=9)
+        full.process_batch(np.arange(2000))
+        merged = load_sketch(tmp_path / "a.npz").merge(
+            load_sketch(tmp_path / "b.npz")
+        )
+        assert merged.estimate() == full.estimate()
+
+
+class TestErrors:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot serialise"):
+            save_sketch(object(), tmp_path / "x.npz")
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, kind=np.bytes_(b"martian"), data=np.arange(3))
+        with pytest.raises(ValueError, match="unknown sketch kind"):
+            load_sketch(path)

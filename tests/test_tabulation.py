@@ -1,0 +1,83 @@
+"""Tests for tabulation hashing (Thorup--Zhang [39])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.sketch.tabulation import TabulationHash
+
+ALPHA = 1e-4
+
+
+class TestBasics:
+    def test_range_respected(self):
+        h = TabulationHash(13, seed=1)
+        assert all(0 <= h(x) < 13 for x in range(2000))
+
+    def test_deterministic_per_seed(self):
+        a, b = TabulationHash(100, seed=5), TabulationHash(100, seed=5)
+        assert [a(x) for x in range(200)] == [b(x) for x in range(200)]
+
+    def test_seeds_differ(self):
+        a, b = TabulationHash(1000, seed=1), TabulationHash(1000, seed=2)
+        assert [a(x) for x in range(50)] != [b(x) for x in range(50)]
+
+    def test_scalar_vector_agree(self):
+        h = TabulationHash(97, seed=3)
+        xs = np.arange(0, 5000, 11)
+        assert list(h(xs)) == [h(int(x)) for x in xs]
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            TabulationHash(0)
+
+    def test_space_is_table_size(self):
+        assert TabulationHash(10, seed=1).space_words() == 4 * 256
+
+
+class TestStatistics:
+    def test_chi_square_uniform(self):
+        h = TabulationHash(64, seed=11)
+        counts = np.bincount(h(np.arange(50_000)), minlength=64)
+        _stat, p = stats.chisquare(counts)
+        assert p > ALPHA
+
+    def test_uniform_on_structured_keys(self):
+        """Keys sharing low bytes (multiples of 256) must still spread."""
+        h = TabulationHash(32, seed=13)
+        counts = np.bincount(h(np.arange(0, 256 * 20_000, 256)), minlength=32)
+        _stat, p = stats.chisquare(counts)
+        assert p > ALPHA
+
+    def test_pairwise_joint_uniform(self):
+        """Joint uniformity over pairs whose byte structure varies.
+
+        (For pairs differing only in the low byte, one table draw reuses
+        the same 128 XOR patterns -- tabulation's independence is over
+        the table draw, which is exactly Thorup-Zhang's point.  Pairs
+        with varying structure exercise the whole table.)
+        """
+        h = TabulationHash(4, seed=17)
+        xs = np.arange(20_000) * 2
+        ys = xs * 31 + 7  # second key varies in every byte
+        hx, hy = h(xs), h(ys)
+        joint = np.zeros((4, 4))
+        for i in range(4):
+            for j in range(4):
+                joint[i, j] = np.sum((hx == i) & (hy == j))
+        _stat, p = stats.chisquare(joint.ravel(), [len(xs) / 16.0] * 16)
+        assert p > ALPHA
+
+
+class TestAsSketchBackend:
+    def test_bucket_assignment_for_countsketch_shape(self):
+        """A tabulation hash can stand in for a bucket hash: collisions
+        across a width-256 table look binomial."""
+        h = TabulationHash(256, seed=19)
+        values = h(np.arange(10_000))
+        counts = np.bincount(values, minlength=256)
+        # Max load of 10000 balls in 256 bins ~ 39 + O(sqrt): generous cap.
+        assert counts.max() < 100
+        assert counts.min() > 5

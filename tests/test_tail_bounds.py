@@ -1,0 +1,114 @@
+"""Tests for the concentration-bound helpers (Appendix A)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.tail_bounds import (
+    chebyshev_bound,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    limited_independence_degree,
+    repetitions_for_failure,
+    union_bound,
+)
+
+
+class TestChernoff:
+    def test_upper_tail_small_delta(self):
+        assert chernoff_upper_tail(30, 0.5) == pytest.approx(
+            math.exp(-30 * 0.25 / 3)
+        )
+
+    def test_upper_tail_large_delta(self):
+        assert chernoff_upper_tail(30, 2.0) == pytest.approx(
+            math.exp(-30 * 2 / 3)
+        )
+
+    def test_lower_tail(self):
+        assert chernoff_lower_tail(40, 0.5) == pytest.approx(
+            math.exp(-40 * 0.25 / 2)
+        )
+
+    def test_bounds_decrease_with_mean(self):
+        assert chernoff_upper_tail(100, 0.5) < chernoff_upper_tail(10, 0.5)
+        assert chernoff_lower_tail(100, 0.5) < chernoff_lower_tail(10, 0.5)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000),
+        st.floats(min_value=0.01, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_probability(self, mean, delta):
+        assert 0 <= chernoff_upper_tail(mean, delta) <= 1
+
+
+class TestLimitedIndependence:
+    def test_degree_formula_small_delta(self):
+        # d = Omega(delta^2 mu) for delta < 1 (Lemma A.3).
+        assert limited_independence_degree(100, 0.5) == 25
+
+    def test_degree_formula_large_delta(self):
+        assert limited_independence_degree(100, 2.0) == 200
+
+    def test_floor_at_pairwise(self):
+        assert limited_independence_degree(1, 0.1) == 2
+
+
+class TestChebyshev:
+    def test_formula(self):
+        assert chebyshev_bound(4.0, 4.0) == pytest.approx(0.25)
+
+    def test_capped_at_one(self):
+        assert chebyshev_bound(100.0, 1.0) == 1.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            chebyshev_bound(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            chebyshev_bound(1.0, 0.0)
+
+
+class TestUnionBound:
+    def test_sums(self):
+        assert union_bound(0.1, 0.2, 0.05) == pytest.approx(0.35)
+
+    def test_caps_at_one(self):
+        assert union_bound(0.7, 0.7) == 1.0
+
+    def test_empty(self):
+        assert union_bound() == 0.0
+
+
+class TestRepetitions:
+    def test_single_trial_when_certain(self):
+        assert repetitions_for_failure(1.0, 0.01) == 1
+
+    def test_matches_closed_form(self):
+        # (1 - 3/4)^r <= 0.01  =>  r >= log(0.01)/log(0.25) ~ 3.32.
+        assert repetitions_for_failure(0.75, 0.01) == 4
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            repetitions_for_failure(0.0, 0.1)
+        with pytest.raises(ValueError):
+            repetitions_for_failure(0.5, 1.5)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.99),
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_repetitions_achieve_target(self, p, target):
+        reps = repetitions_for_failure(p, target)
+        assert (1 - p) ** reps <= target + 1e-12

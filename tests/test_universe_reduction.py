@@ -1,0 +1,62 @@
+"""Tests for universe reduction (Section 3.1, Lemma 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.universe_reduction import UniverseReducer
+
+
+class TestMapping:
+    def test_range(self):
+        reducer = UniverseReducer(z=16, seed=1)
+        assert all(0 <= reducer.map_element(e) < 16 for e in range(1000))
+
+    def test_deterministic(self):
+        a = UniverseReducer(z=32, seed=5)
+        b = UniverseReducer(z=32, seed=5)
+        assert all(a.map_element(e) == b.map_element(e) for e in range(200))
+
+    def test_map_edge_preserves_set_id(self):
+        reducer = UniverseReducer(z=8, seed=1)
+        set_id, pseudo = reducer.map_edge(42, 7)
+        assert set_id == 42
+        assert pseudo == reducer.map_element(7)
+
+    def test_rejects_bad_z(self):
+        with pytest.raises(ValueError):
+            UniverseReducer(z=0)
+
+    def test_image_size_counts_distinct(self):
+        reducer = UniverseReducer(z=4, seed=2)
+        assert reducer.image_size(range(100)) <= 4
+        assert reducer.image_size([]) == 0
+
+    def test_space_is_constant(self):
+        assert UniverseReducer(z=10**6, seed=1).space_words() < 10
+
+
+class TestLemma35:
+    """|h(S)| >= z/4 with probability >= 3/4 when |S| >= z >= 32."""
+
+    @pytest.mark.parametrize("z", [32, 64, 128])
+    def test_image_stays_large(self, z):
+        elements = list(range(2 * z))
+        successes = sum(
+            UniverseReducer(z, seed=seed).image_size(elements) >= z / 4
+            for seed in range(40)
+        )
+        assert successes >= 30  # 3/4 of 40
+
+    def test_image_never_exceeds_source(self):
+        """Coverage never increases under reduction (Theorem 3.6's
+        soundness direction)."""
+        for z in (4, 16, 64):
+            reducer = UniverseReducer(z, seed=3)
+            for size in (1, 3, 10, 200):
+                assert reducer.image_size(range(size)) <= min(size, z)
+
+    def test_small_sets_mostly_injective(self):
+        """Far below z, collisions are rare, so sizes are preserved."""
+        reducer = UniverseReducer(z=10**6, seed=4)
+        assert reducer.image_size(range(100)) == 100
