@@ -17,6 +17,7 @@ from repro import (
     EdgeStream,
     EstimateMaxCover,
     MaxCoverReporter,
+    StreamRunner,
     lazy_greedy,
     planted_cover,
 )
@@ -38,21 +39,27 @@ def main() -> None:
     stream = EdgeStream.from_system(system, order="random", seed=13)
     print(f"stream: {len(stream)} edges in random arrival order")
 
+    # One knob for how streams are fed: the chunked vectorized engine
+    # (process_batch under the hood); path="scalar" would replay the
+    # per-token reference implementation instead.
+    runner = StreamRunner(chunk_size=4096)
+
     # --- Estimation (Theorem 3.1) ---------------------------------------
     estimator = EstimateMaxCover(
         m=m, n=n, k=k, alpha=alpha, z_base=4.0, seed=42
     )
-    estimator.process_batch(*stream.as_arrays())
+    report = runner.run(estimator, stream)
     estimate = estimator.estimate()
     print(
         f"\nEstimateMaxCover(alpha={alpha:g}): estimate {estimate:.0f} "
         f"(ratio {opt / estimate:.2f}, target <= ~{alpha:g})"
     )
     print(f"  space held: {estimator.space_words()} words")
+    print(f"  throughput: {report.tokens_per_sec:.0f} tokens/sec")
 
     # --- Reporting (Theorem 3.2) ----------------------------------------
     reporter = MaxCoverReporter(m=m, n=n, k=k, alpha=alpha, seed=42)
-    reporter.process_batch(*stream.as_arrays())
+    runner.run(reporter, stream)
     cover = reporter.solution()
     true_coverage = system.coverage(cover.set_ids)
     print(

@@ -36,7 +36,13 @@ Package map
     Experiment harness shared by the ``benchmarks/`` targets.
 """
 
-from repro.base import SetArrivalAlgorithm, StreamConsumedError, StreamingAlgorithm
+from repro.base import (
+    RunReport,
+    SetArrivalAlgorithm,
+    StreamConsumedError,
+    StreamingAlgorithm,
+    StreamRunner,
+)
 from repro.core import (
     EstimateMaxCover,
     LargeCommon,
@@ -76,6 +82,8 @@ __all__ = [
     "StreamingAlgorithm",
     "SetArrivalAlgorithm",
     "StreamConsumedError",
+    "StreamRunner",
+    "RunReport",
     # core
     "Parameters",
     "UniverseReducer",

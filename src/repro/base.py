@@ -22,6 +22,8 @@ quantity the paper's ``O~(m / alpha^2)`` bounds talk about.
 from __future__ import annotations
 
 import abc
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -29,6 +31,8 @@ __all__ = [
     "StreamConsumedError",
     "StreamingAlgorithm",
     "SetArrivalAlgorithm",
+    "RunReport",
+    "StreamRunner",
 ]
 
 
@@ -61,13 +65,17 @@ class StreamingAlgorithm(abc.ABC):
         """Whether the single pass has ended."""
         return self._finalized
 
-    def process(self, *token) -> None:
-        """Feed one stream token to the algorithm."""
+    def _check_open(self) -> None:
+        """Raise unless the single pass is still accepting tokens."""
         if self._finalized:
             raise StreamConsumedError(
                 f"{type(self).__name__} already finalised its single pass; "
                 "create a new instance to process another stream"
             )
+
+    def process(self, *token) -> None:
+        """Feed one stream token to the algorithm."""
+        self._check_open()
         self._tokens_seen += 1
         self._process(*token)
 
@@ -96,11 +104,7 @@ class StreamingAlgorithm(abc.ABC):
         trackers).  Subclasses override :meth:`_process_batch` with
         vectorised kernels; the default falls back to the scalar path.
         """
-        if self._finalized:
-            raise StreamConsumedError(
-                f"{type(self).__name__} already finalised its single pass; "
-                "create a new instance to process another stream"
-            )
+        self._check_open()
         arrays = [np.asarray(c, dtype=np.int64) for c in columns]
         if not arrays or len(arrays[0]) == 0:
             return self
@@ -118,6 +122,20 @@ class StreamingAlgorithm(abc.ABC):
         """Default batch kernel: the scalar path in a loop."""
         for row in zip(*columns):
             self._process(*(int(x) for x in row))
+
+    def _ingest_batch(self, *columns) -> None:
+        """Feed pre-validated int64 column arrays (internal fan-out path).
+
+        Multi-branch dispatchers (``EstimateMaxCover`` over its
+        reduction branches, ``Oracle`` over its subroutines) validate a
+        chunk once at the top and then hand the same arrays to many
+        children; this entry point skips :meth:`process_batch`'s
+        re-conversion while keeping the pass-finalisation check and the
+        token count.
+        """
+        self._check_open()
+        self._tokens_seen += len(columns[0])
+        self._process_batch(*columns)
 
     def process_stream_batched(
         self, stream, batch_size: int = 8192
@@ -211,3 +229,119 @@ class SetArrivalAlgorithm(abc.ABC):
     @abc.abstractmethod
     def space_words(self) -> int:
         """Machine words retained across arrivals."""
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Timing summary returned by :meth:`StreamRunner.run`.
+
+    Attributes
+    ----------
+    tokens:
+        Stream tokens fed to the algorithm.
+    chunks:
+        ``process_batch`` calls issued (0 on the scalar path).
+    seconds:
+        Wall-clock duration of the pass.
+    path:
+        ``"vectorized"`` or ``"scalar"``.
+    chunk_size:
+        The runner's configured chunk size.
+    """
+
+    tokens: int
+    chunks: int
+    seconds: float
+    path: str
+    chunk_size: int
+
+    @property
+    def tokens_per_sec(self) -> float:
+        """Throughput; ``inf`` for a pass too fast to time."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.tokens / self.seconds
+
+
+class StreamRunner:
+    """Uniform chunked driver for feeding streams to algorithms.
+
+    Every driver in the package -- the CLI, the examples, the bench
+    harness -- pushes streams through this one object, so the chunk
+    size and the scalar/vectorized choice are a single knob rather than
+    per-call-site conventions.
+
+    Parameters
+    ----------
+    chunk_size:
+        Edges per ``process_batch`` call on the vectorized path.  The
+        default 4096 is large enough to amortise numpy dispatch across
+        every branch's kernels, small enough that per-chunk scratch
+        (``branches x chunk_size`` reduction matrices) stays in cache.
+    path:
+        ``"vectorized"`` routes chunks through ``process_batch``;
+        ``"scalar"`` replays the per-token ``process`` reference path
+        (the implementation the equivalence tests trust).
+    """
+
+    PATHS = ("vectorized", "scalar")
+
+    def __init__(self, chunk_size: int = 4096, path: str = "vectorized"):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if path not in self.PATHS:
+            raise ValueError(
+                f"unknown path {path!r}; choose from {self.PATHS}"
+            )
+        self.chunk_size = int(chunk_size)
+        self.path = path
+
+    def run(self, algo: StreamingAlgorithm, stream) -> RunReport:
+        """Feed every token of ``stream`` to ``algo``; timing report.
+
+        ``stream`` may be any iterable of tuples (edges) or scalars
+        (items); objects exposing ``iter_chunks`` (``EdgeStream``) are
+        sliced into column arrays directly, skipping the buffering.
+        """
+        start = time.perf_counter()
+        tokens = 0
+        chunks = 0
+        if self.path == "scalar":
+            for token in stream:
+                if isinstance(token, tuple):
+                    algo.process(*token)
+                else:
+                    algo.process(token)
+                tokens += 1
+        elif hasattr(stream, "iter_chunks"):
+            for columns in stream.iter_chunks(self.chunk_size):
+                algo.process_batch(*columns)
+                tokens += len(columns[0])
+                chunks += 1
+        else:
+            buffer: list = []
+            for token in stream:
+                buffer.append(token)
+                if len(buffer) >= self.chunk_size:
+                    tokens += self._flush(algo, buffer)
+                    chunks += 1
+                    buffer = []
+            if buffer:
+                tokens += self._flush(algo, buffer)
+                chunks += 1
+        return RunReport(
+            tokens=tokens,
+            chunks=chunks,
+            seconds=time.perf_counter() - start,
+            path=self.path,
+            chunk_size=self.chunk_size,
+        )
+
+    @staticmethod
+    def _flush(algo: StreamingAlgorithm, buffer: list) -> int:
+        """Feed one buffered chunk through the batch path."""
+        if isinstance(buffer[0], tuple):
+            algo.process_batch(*map(np.asarray, zip(*buffer)))
+        else:
+            algo.process_batch(np.asarray(buffer))
+        return len(buffer)

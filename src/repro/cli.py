@@ -42,7 +42,7 @@ from repro.core.oracle import Oracle
 from repro.core.parameters import Parameters
 from repro.core.reporting import MaxCoverReporter
 from repro.coverage.greedy import lazy_greedy
-from repro.streams.edge_stream import EdgeStream
+from repro.streams.edge_stream import EdgeStream, StreamRunner
 from repro.streams.generators import (
     common_heavy,
     few_large_sets,
@@ -78,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--k", type=int, required=True, help="cover budget")
         p.add_argument("--seed", type=int, default=0, help="random seed")
 
+    def positive_int(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer, got {text}"
+            )
+        return value
+
+    def add_engine(p):
+        p.add_argument(
+            "--engine",
+            choices=StreamRunner.PATHS,
+            default="vectorized",
+            help="batched multi-branch engine or the per-token reference",
+        )
+        p.add_argument(
+            "--chunk-size",
+            type=positive_int,
+            default=4096,
+            help="tokens per batch on the vectorized engine",
+        )
+
     est = sub.add_parser("estimate", help="estimate optimal coverage")
     add_common(est)
     est.add_argument("--alpha", type=float, default=4.0)
@@ -85,13 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("practical", "paper"), default="practical"
     )
     est.add_argument("--z-base", type=float, default=4.0)
+    add_engine(est)
 
     rep = sub.add_parser("report", help="report an approximate k-cover")
     add_common(rep)
     rep.add_argument("--alpha", type=float, default=4.0)
+    add_engine(rep)
 
     trade = sub.add_parser("tradeoff", help="sweep alpha, print the table")
     add_common(trade)
+    add_engine(trade)
     trade.add_argument(
         "--alphas", type=float, nargs="+", default=[2.0, 4.0, 8.0, 16.0]
     )
@@ -129,6 +154,17 @@ def _load(args) -> EdgeStream:
     return EdgeStream.load(args.stream)
 
 
+def _runner(args) -> StreamRunner:
+    return StreamRunner(chunk_size=args.chunk_size, path=args.engine)
+
+
+def _print_throughput(args, report) -> None:
+    print(
+        f"throughput: {report.tokens_per_sec:.0f} tokens/sec "
+        f"({report.path} engine, chunk_size={report.chunk_size})"
+    )
+
+
 def _cmd_estimate(args) -> int:
     stream = _load(args)
     algo = EstimateMaxCover(
@@ -140,10 +176,11 @@ def _cmd_estimate(args) -> int:
         z_base=args.z_base,
         seed=args.seed,
     )
-    algo.process_stream(stream)
+    report = _runner(args).run(algo, stream)
     value = algo.estimate()
     print(f"estimate: {value:.1f}")
     print(f"space_words: {algo.space_words()}")
+    _print_throughput(args, report)
     return 0
 
 
@@ -152,12 +189,13 @@ def _cmd_report(args) -> int:
     reporter = MaxCoverReporter(
         m=stream.m, n=stream.n, k=args.k, alpha=args.alpha, seed=args.seed
     )
-    reporter.process_stream(stream)
+    report = _runner(args).run(reporter, stream)
     cover = reporter.solution()
     print(f"set_ids: {' '.join(map(str, cover.set_ids))}")
     print(f"certified_coverage: {cover.estimated_coverage:.1f}")
     print(f"source: {cover.source}")
     print(f"space_words: {reporter.space_words()}")
+    _print_throughput(args, report)
     return 0
 
 
@@ -172,7 +210,7 @@ def _cmd_tradeoff(args) -> int:
     for alpha in args.alphas:
         params = Parameters.practical(stream.m, stream.n, args.k, alpha)
         oracle = Oracle(params, seed=args.seed)
-        oracle.process_stream(stream)
+        _runner(args).run(oracle, stream)
         value = oracle.estimate()
         table.add_row(
             alpha,

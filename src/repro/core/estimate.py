@@ -35,7 +35,7 @@ import numpy as np
 from repro.base import StreamingAlgorithm
 from repro.core.oracle import Oracle
 from repro.core.parameters import Parameters
-from repro.core.universe_reduction import UniverseReducer
+from repro.core.universe_reduction import ReducerBank, UniverseReducer
 
 __all__ = ["EstimateMaxCover"]
 
@@ -140,6 +140,12 @@ class EstimateMaxCover(StreamingAlgorithm):
                     seed=rng.integers(0, 2**63),
                 )
                 self._branches.append((z, reducer, oracle))
+        # The vectorized multi-branch engine: every branch's reduction
+        # hash stacked into one (branches x degree) coefficient matrix,
+        # so a chunk is reduced for all branches in one Horner pass.
+        self._reducer_bank = ReducerBank(
+            [reducer for _z, reducer, _oracle in self._branches]
+        )
 
     def _process(self, set_id, element) -> None:
         if self.trivial:
@@ -150,8 +156,9 @@ class EstimateMaxCover(StreamingAlgorithm):
     def _process_batch(self, set_ids, elements) -> None:
         if self.trivial:
             return
-        for _z, reducer, oracle in self._branches:
-            oracle.process_batch(set_ids, reducer.map_batch(elements))
+        reduced = self._reducer_bank.map_all(elements)
+        for row, (_z, _reducer, oracle) in zip(reduced, self._branches):
+            oracle._ingest_batch(set_ids, row)
 
     def estimate(self) -> float:
         """Finalise; the coverage estimate.

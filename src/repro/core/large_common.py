@@ -27,6 +27,7 @@ import math
 
 from repro.base import StreamingAlgorithm
 from repro.core.parameters import Parameters
+from repro.sketch.hashing import SampledSetBank
 from repro.sketch.l0 import L0Sketch
 from repro.sketch.set_sampling import SetSampler
 
@@ -92,6 +93,11 @@ class LargeCommon(StreamingAlgorithm):
         self._member_cache: list[dict[int, bool]] = [
             {} for _ in self.betas
         ]
+        # Every layer's membership hash in one stacked bank: a chunk is
+        # classified for all layers with a single Horner pass.
+        self._membership_bank = SampledSetBank(
+            [sampler._membership for sampler in self._samplers]
+        )
 
     def _process(self, set_id, element) -> None:
         set_id = int(set_id)
@@ -105,11 +111,11 @@ class LargeCommon(StreamingAlgorithm):
                 self._sketches[layer].process(int(element))
 
     def _process_batch(self, set_ids, elements) -> None:
-        for layer in range(len(self.betas)):
-            mask = self._samplers[layer]._membership.contains_many(set_ids)
+        masks = self._membership_bank.contains_matrix(set_ids)
+        for sketch, mask in zip(self._sketches, masks):
             kept = elements[mask]
             if len(kept):
-                self._sketches[layer].process_batch(kept)
+                sketch.process_batch(kept)
 
     def estimate(self) -> float | None:
         """Finalise; the certified estimate, or ``None`` for *infeasible*.

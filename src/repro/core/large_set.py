@@ -46,7 +46,12 @@ from repro.base import StreamingAlgorithm
 from repro.core.parameters import Parameters
 from repro.sketch.contributing import F2Contributing
 from repro.sketch.element_sampling import ElementSampler
-from repro.sketch.hashing import KWiseHash, SampledSet, default_degree
+from repro.sketch.hashing import (
+    KWiseHash,
+    SampledSet,
+    SampledSetBank,
+    default_degree,
+)
 from repro.sketch.l0 import L0Sketch
 
 __all__ = ["LargeSetOutcome", "LargeSetRun", "LargeSet"]
@@ -180,6 +185,28 @@ class LargeSetRun(StreamingAlgorithm):
             if not mask.any():
                 return
             set_ids, elements = set_ids[mask], elements[mask]
+        self._ingest_sampled(set_ids, elements)
+
+    def _ingest_presampled(self, set_ids, elements, total_tokens: int) -> None:
+        """Feed a chunk whose element-sampling filter was applied upstream.
+
+        ``LargeSet`` decides every run's keep-mask with one stacked
+        hash pass and hands each run only its surviving rows;
+        ``total_tokens`` is the unfiltered chunk length, so the run's
+        token count matches the standalone paths.
+        """
+        self._check_open()
+        self._tokens_seen += total_tokens
+        self._ingest_sampled(set_ids, elements)
+
+    def _ingest_sampled(self, set_ids, elements) -> None:
+        """Batch kernel downstream of element sampling.
+
+        :meth:`_process_batch` is the standalone entry that filters for
+        itself; :meth:`_ingest_presampled` arrives here already masked.
+        """
+        if not len(elements):
+            return
         sids = self._partition(set_ids)
         self._cntr_small.process_batch(sids)
         self._cntr_large.process_batch(sids)
@@ -324,14 +351,20 @@ class LargeSet(StreamingAlgorithm):
                     seed=rng.integers(0, 2**63),
                 )
             )
+        # All runs' element-sampler hashes stacked: one Horner pass
+        # decides every run's keep-mask for a whole chunk.
+        self._sampler_bank = SampledSetBank(
+            [run.element_sampler._membership for run in self._runs]
+        )
 
     def _process(self, set_id, element) -> None:
         for run in self._runs:
             run.process(set_id, element)
 
     def _process_batch(self, set_ids, elements) -> None:
-        for run in self._runs:
-            run.process_batch(set_ids, elements)
+        masks = self._sampler_bank.contains_matrix(elements)
+        for run, mask in zip(self._runs, masks):
+            run._ingest_presampled(set_ids[mask], elements[mask], len(elements))
 
     def best_outcome(self) -> tuple[LargeSetOutcome, LargeSetRun] | None:
         """The winning ``(outcome, run)`` across runs, scaled comparison

@@ -128,12 +128,14 @@ class Oracle(StreamingAlgorithm):
             self._small_set.process(set_id, element)
 
     def _process_batch(self, set_ids, elements) -> None:
+        # The chunk was validated once at the top-level entry; hand the
+        # same arrays to each subroutine without re-conversion.
         if self._large_common is not None:
-            self._large_common.process_batch(set_ids, elements)
+            self._large_common._ingest_batch(set_ids, elements)
         if self._large_set is not None:
-            self._large_set.process_batch(set_ids, elements)
+            self._large_set._ingest_batch(set_ids, elements)
         if self._small_set is not None:
-            self._small_set.process_batch(set_ids, elements)
+            self._small_set._ingest_batch(set_ids, elements)
 
     def oracle_estimate(self) -> OracleEstimate:
         """Finalise; max over subroutines, with provenance."""

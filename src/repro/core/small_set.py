@@ -35,6 +35,7 @@ from repro.core.parameters import Parameters
 from repro.coverage.greedy import lazy_greedy
 from repro.coverage.setsystem import SetSystem
 from repro.sketch.element_sampling import ElementSampler
+from repro.sketch.hashing import SampledSetBank
 from repro.sketch.set_sampling import SetSampler
 
 __all__ = ["SmallSetRun", "SmallSet"]
@@ -72,10 +73,19 @@ class SmallSetRun:
             return
         kept_sets, kept_elems = set_ids[mask], elements[mask]
         emask = self.element_sampler._membership.contains_many(kept_elems)
-        if not emask.any():
+        self.feed_masked(kept_sets, kept_elems, emask)
+
+    def feed_masked(self, set_ids, elements, mask) -> None:
+        """Store ``(set, element)`` rows where ``mask`` holds.
+
+        The stacked-bank path in :class:`SmallSet` computes every run's
+        sampler decisions at once and lands here; dead runs ignore
+        their rows exactly like :meth:`feed`.
+        """
+        if not self.alive or not mask.any():
             return
         self.edges.update(
-            zip(kept_sets[emask].tolist(), kept_elems[emask].tolist())
+            zip(set_ids[mask].tolist(), elements[mask].tolist())
         )
         if len(self.edges) > self.budget:
             self.alive = False
@@ -204,6 +214,14 @@ class SmallSet(StreamingAlgorithm):
                         edges=set(),
                     )
                 )
+        # Both sampler grids stacked across runs: two Horner passes per
+        # chunk decide every run's set- and element-sampling masks.
+        self._set_bank = SampledSetBank(
+            [run.set_sampler._membership for run in self._runs]
+        )
+        self._elem_bank = SampledSetBank(
+            [run.element_sampler._membership for run in self._runs]
+        )
 
     def _process(self, set_id, element) -> None:
         set_id, element = int(set_id), int(element)
@@ -211,8 +229,10 @@ class SmallSet(StreamingAlgorithm):
             run.feed(set_id, element)
 
     def _process_batch(self, set_ids, elements) -> None:
-        for run in self._runs:
-            run.feed_batch(set_ids, elements)
+        set_masks = self._set_bank.contains_matrix(set_ids)
+        elem_masks = self._elem_bank.contains_matrix(elements)
+        for run, smask, emask in zip(self._runs, set_masks, elem_masks):
+            run.feed_masked(set_ids, elements, smask & emask)
 
     def _run_value(self, run: SmallSetRun) -> tuple[float, tuple[int, ...]] | None:
         """Greedy-solve a run's stored sub-instance; universe-scaled value."""

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.base import StreamingAlgorithm
 from repro.sketch.countsketch import F2HeavyHitter
-from repro.sketch.hashing import SampledSet
+from repro.sketch.hashing import SampledSet, SampledSetBank
 
 __all__ = ["ContributingCoordinate", "F2Contributing"]
 
@@ -107,6 +107,8 @@ class F2Contributing(StreamingAlgorithm):
                     phi, depth=depth, seed=rng.integers(0, 2**63)
                 )
             )
+        # One stacked hash pass classifies a chunk for every level.
+        self._sampler_bank = SampledSetBank(self._samplers)
 
     def _process(self, item, count: int = 1) -> None:
         item = int(item)
@@ -115,11 +117,11 @@ class F2Contributing(StreamingAlgorithm):
                 self._sketches[level].process(item, count)
 
     def _process_batch(self, items: np.ndarray) -> None:
-        for level in range(self.num_levels):
-            mask = self._samplers[level].contains_many(items)
+        masks = self._sampler_bank.contains_matrix(items)
+        for sketch, mask in zip(self._sketches, masks):
             survivors = items[mask]
             if len(survivors):
-                self._sketches[level].process_batch(survivors)
+                sketch.process_batch(survivors)
 
     def contributing(self) -> list[ContributingCoordinate]:
         """Finalise and return one-or-more coordinates per contributing class.

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.base import StreamingAlgorithm
-from repro.sketch.hashing import KWiseHash, SignHash
+from repro.sketch.hashing import KWiseHash, KWiseHashBank, SignHash
 
 __all__ = ["CountSketch", "F2HeavyHitter"]
 
@@ -57,6 +57,12 @@ class CountSketch(StreamingAlgorithm):
         self._sign_hashes = [
             SignHash(seed=rng.integers(0, 2**63)) for _ in range(self.depth)
         ]
+        # Rows stacked into banks: one Horner pass per batch hashes a
+        # chunk for every row at once.
+        self._bucket_bank = KWiseHashBank(self._bucket_hashes)
+        self._sign_bank = KWiseHashBank(
+            [sign._hash for sign in self._sign_hashes]
+        )
         self._table = np.zeros((self.depth, self.width), dtype=np.int64)
 
     def _process(self, item, count: int = 1) -> None:
@@ -90,10 +96,10 @@ class CountSketch(StreamingAlgorithm):
         unique, inverse = np.unique(items, return_inverse=True)
         sums = np.zeros(len(unique), dtype=np.int64)
         np.add.at(sums, inverse, counts)
+        buckets = self._bucket_bank.eval_many(unique)
+        signs = np.where(self._sign_bank.eval_many(unique) == 1, 1, -1)
         for row in range(self.depth):
-            buckets = self._bucket_hashes[row](unique)
-            signs = self._sign_hashes[row](unique)
-            np.add.at(self._table[row], buckets, signs * sums)
+            np.add.at(self._table[row], buckets[row], signs[row] * sums)
 
     def query(self, item: int) -> float:
         """Median-of-rows estimate of coordinate ``item``'s frequency."""
@@ -176,6 +182,15 @@ class F2HeavyHitter(StreamingAlgorithm):
         width = max(8, int(np.ceil(8.0 / phi)))
         self._sketch = CountSketch(width=width, depth=depth, seed=seed)
         self.capacity = max(4, int(np.ceil(4.0 / phi)))
+        # The pool prunes on a deterministic token schedule -- every
+        # ``prune_period`` arrivals -- rather than on overflow.  The
+        # schedule depends only on how many tokens the pool has seen,
+        # so scalar and batch processing prune at identical stream
+        # positions and the pool state is bit-identical however the
+        # stream is chunked.  Between prunes at most ``prune_period``
+        # new items enter, so the pool stays O(capacity).
+        self.prune_period = self.capacity
+        self._pool_tokens = 0
         self._candidates: dict[int, float] = {}
 
     def _process(self, item, count: int = 1) -> None:
@@ -187,32 +202,87 @@ class F2HeavyHitter(StreamingAlgorithm):
         # (the CountSketch still provides the final (1 +/- 1/2) estimates
         # in heavy_hitters()).
         self._candidates[item] = self._candidates.get(item, 0) + count
-        if len(self._candidates) > 2 * self.capacity:
+        self._pool_tokens += 1
+        if self._pool_tokens % self.prune_period == 0:
             self._prune()
 
     def _process_batch(self, items: np.ndarray) -> None:
-        """Vectorised kernel.
+        """Vectorised kernel, bit-identical to the scalar path.
 
-        The CountSketch table is identical to the scalar path (it is
-        linear); the candidate pool sees per-batch rather than per-token
-        pruning, which can only *improve* recall (candidates accumulate
-        a whole batch of exact counts before any eviction).
+        The CountSketch table is linear, so the batched scatter-add
+        reproduces it exactly.  The candidate pool prunes at token
+        positions fixed by ``prune_period``; when no new candidate can
+        enter (or the pool cannot exceed its cap before the chunk
+        ends), the whole chunk accumulates in one pass, otherwise the
+        chunk is cut at the scheduled prune positions and each window
+        accumulates vectorised.  New candidates are inserted in
+        first-arrival order because pruning ties break by dict order.
         """
         self._sketch.update_batch(items)
-        unique, counts = np.unique(items, return_counts=True)
+        unique, first_seen, counts = np.unique(
+            items, return_index=True, return_counts=True
+        )
+        new_items = sum(
+            1 for item in unique.tolist() if item not in self._candidates
+        )
+        crosses_boundary = (
+            self._pool_tokens % self.prune_period + len(items)
+            >= self.prune_period
+        )
+        if not crosses_boundary or (
+            len(self._candidates) + new_items <= self.capacity
+        ):
+            # No prune fires inside this chunk, or every scheduled
+            # prune would be a no-op (the pool cannot outgrow capacity
+            # even with every new arrival): one order-free accumulation.
+            self._accumulate(unique, first_seen, counts)
+            self._pool_tokens += len(items)
+            if crosses_boundary:
+                self._prune()
+            return
         candidates = self._candidates
-        for item, count in zip(unique, counts):
-            item = int(item)
-            candidates[item] = candidates.get(item, 0) + int(count)
-        if len(candidates) > 2 * self.capacity:
-            self._prune()
+        start = 0
+        while start < len(items):
+            until_prune = (
+                self.prune_period - self._pool_tokens % self.prune_period
+            )
+            stop = min(len(items), start + until_prune)
+            for item in items[start:stop].tolist():
+                candidates[item] = candidates.get(item, 0) + 1
+            self._pool_tokens += stop - start
+            if self._pool_tokens % self.prune_period == 0:
+                self._prune()
+            start = stop
+
+    def _accumulate(self, unique, first_seen, counts) -> None:
+        """Fold deduplicated counts into the pool, first-arrival order."""
+        candidates = self._candidates
+        for idx in np.argsort(first_seen, kind="stable"):
+            item = int(unique[idx])
+            candidates[item] = candidates.get(item, 0) + int(counts[idx])
 
     def _prune(self) -> None:
-        """Keep only the ``capacity`` largest current candidates."""
-        top = sorted(
-            self._candidates.items(), key=lambda kv: kv[1], reverse=True
-        )[: self.capacity]
-        self._candidates = dict(top)
+        """Keep only the ``capacity`` largest current candidates.
+
+        Survivors retain their insertion order (ties in the selection
+        break towards earlier insertion, via the stable sort).  Keeping
+        the dict order intact makes a prune that evicts nothing a true
+        no-op, which is what lets the batch path coalesce whole chunks
+        when the pool is not under pressure.
+        """
+        if len(self._candidates) <= self.capacity:
+            return
+        keep = {
+            item
+            for item, _ in sorted(
+                self._candidates.items(), key=lambda kv: kv[1], reverse=True
+            )[: self.capacity]
+        }
+        self._candidates = {
+            item: count
+            for item, count in self._candidates.items()
+            if item in keep
+        }
 
     def heavy_hitters(self) -> dict[int, float]:
         """Finalise and return ``{coordinate: approximate frequency}``.
@@ -259,6 +329,7 @@ class F2HeavyHitter(StreamingAlgorithm):
         self._sketch.merge(other._sketch)
         for item, count in other._candidates.items():
             self._candidates[item] = self._candidates.get(item, 0) + count
+        self._pool_tokens += other._pool_tokens
         if len(self._candidates) > 2 * self.capacity:
             self._prune()
         return self

@@ -15,11 +15,16 @@ this package.
 The module exposes:
 
 * :class:`KWiseHash` -- the raw family, mapping ``[p] -> [range_size]``.
+* :class:`KWiseHashBank` -- many same-degree functions stacked into a
+  ``(branches, degree)`` coefficient matrix and evaluated on a whole
+  chunk with one batched Horner pass (the multi-branch hot path).
 * :class:`SignHash` -- four-wise independent ``{-1, +1}`` hash used by
   CountSketch / AMS.
 * :class:`SampledSet` -- rate-``1/r`` membership test implemented as
   ``h(x) == 0`` over ``r`` buckets, the paper's mechanism for set sampling
   and element sampling with ``Theta(log(mn))`` random bits (Appendix A.1).
+* :class:`SampledSetBank` -- stacked membership tests for many sampled
+  sets at once, built on :class:`KWiseHashBank`.
 """
 
 from __future__ import annotations
@@ -31,8 +36,10 @@ import numpy as np
 __all__ = [
     "MERSENNE_P",
     "KWiseHash",
+    "KWiseHashBank",
     "SignHash",
     "SampledSet",
+    "SampledSetBank",
     "default_degree",
 ]
 
@@ -113,6 +120,57 @@ class KWiseHash:
         return self.degree
 
 
+class KWiseHashBank:
+    """``B`` same-degree :class:`KWiseHash` functions, one Horner pass.
+
+    The multi-branch engines -- universe reduction across all ``z``
+    guesses, membership layers across samplers, CountSketch rows --
+    each hold many independently seeded hashes of a single degree.
+    Stacking the coefficient vectors into a ``(B, degree)`` matrix lets
+    ``degree - 1`` fused multiply-add-mod sweeps over a ``(B, L)``
+    accumulator evaluate *every* function on a whole chunk, instead of
+    ``B`` separate Horner passes with their per-call numpy dispatch
+    overhead.  Outputs are bit-identical to calling each member hash on
+    its own (same field arithmetic, same order of operations).
+
+    Range sizes may differ per member (each universe-reduction branch
+    has its own ``z``); only the degree must match.
+    """
+
+    def __init__(self, hashes):
+        hashes = list(hashes)
+        if not hashes:
+            raise ValueError("KWiseHashBank needs at least one hash")
+        degrees = {h.degree for h in hashes}
+        if len(degrees) != 1:
+            raise ValueError(
+                f"bank members must share one degree, got {sorted(degrees)}"
+            )
+        self.degree = degrees.pop()
+        self.size = len(hashes)
+        self._coeffs = np.stack([h._coeffs for h in hashes])
+        self._ranges = np.asarray(
+            [h.range_size for h in hashes], dtype=np.int64
+        ).reshape(-1, 1)
+
+    def eval_many(self, xs) -> np.ndarray:
+        """``(B, L)`` matrix with ``out[b, j] = hashes[b](xs[j])``."""
+        xs = np.asarray(xs, dtype=np.int64) % MERSENNE_P
+        acc = np.empty((self.size, len(xs)), dtype=np.int64)
+        acc[:] = self._coeffs[:, :1]
+        for j in range(1, self.degree):
+            # Residues stay below 2^31, so the product fits in int64.
+            acc *= xs
+            acc += self._coeffs[:, j : j + 1]
+            acc %= MERSENNE_P
+        acc %= self._ranges
+        return acc
+
+    def space_words(self) -> int:
+        """Words to store every member's coefficients."""
+        return self.size * self.degree
+
+
 class SignHash:
     """Four-wise independent hash into ``{-1, +1}``.
 
@@ -178,3 +236,28 @@ class SampledSet:
 
     def space_words(self) -> int:
         return self._hash.space_words() + 1
+
+
+class SampledSetBank:
+    """Stacked membership tests for ``B`` same-degree :class:`SampledSet`s.
+
+    One :meth:`contains_matrix` call answers every member's
+    :meth:`SampledSet.contains_many` on a whole chunk via a single
+    :class:`KWiseHashBank` pass.  ``h(x) % 1 == 0`` always holds, so
+    rate-1 members (which keep everything) need no special casing --
+    the bank's row is all ``True`` exactly like the scalar path.
+    """
+
+    def __init__(self, sets):
+        sets = list(sets)
+        if not sets:
+            raise ValueError("SampledSetBank needs at least one SampledSet")
+        self.size = len(sets)
+        self._bank = KWiseHashBank([s._hash for s in sets])
+
+    def contains_matrix(self, xs) -> np.ndarray:
+        """``(B, L)`` boolean matrix ``out[b, j] = sets[b].contains(xs[j])``."""
+        return self._bank.eval_many(xs) == 0
+
+    def space_words(self) -> int:
+        return self._bank.space_words() + self.size

@@ -11,7 +11,12 @@ from repro.streams.datasets import (
     dominating_set_instance,
     influence_instance,
 )
-from repro.streams.edge_stream import ARRIVAL_ORDERS, EdgeStream
+from repro.streams.edge_stream import (
+    ARRIVAL_ORDERS,
+    EdgeStream,
+    RunReport,
+    StreamRunner,
+)
 from repro.streams.generators import (
     Workload,
     common_heavy,
@@ -25,6 +30,8 @@ from repro.streams.generators import (
 __all__ = [
     "ARRIVAL_ORDERS",
     "EdgeStream",
+    "RunReport",
+    "StreamRunner",
     "Workload",
     "random_uniform",
     "planted_cover",

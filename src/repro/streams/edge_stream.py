@@ -24,9 +24,10 @@ from collections.abc import Iterable, Iterator
 
 import numpy as np
 
+from repro.base import RunReport, StreamRunner
 from repro.coverage.setsystem import SetSystem
 
-__all__ = ["ARRIVAL_ORDERS", "EdgeStream"]
+__all__ = ["ARRIVAL_ORDERS", "EdgeStream", "RunReport", "StreamRunner"]
 
 ARRIVAL_ORDERS = (
     "set_major",
@@ -142,6 +143,21 @@ class EdgeStream:
             return empty, empty.copy()
         arr = np.asarray(self._edges, dtype=np.int64)
         return arr[:, 0].copy(), arr[:, 1].copy()
+
+    def iter_chunks(self, chunk_size: int = 4096):
+        """Yield ``(set_ids, elements)`` array pairs of at most
+        ``chunk_size`` edges, in arrival order.
+
+        The zero-copy feed for :class:`~repro.base.StreamRunner`'s
+        vectorized path: the full arrays are materialised once and
+        sliced, so chunking costs no per-edge Python work.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        set_ids, elements = self.as_arrays()
+        for start in range(0, len(set_ids), chunk_size):
+            stop = start + chunk_size
+            yield set_ids[start:stop], elements[start:stop]
 
     # -- reorderings -------------------------------------------------------
 

@@ -1,0 +1,138 @@
+"""Scalar/batch equivalence: the vectorized engine is bit-identical.
+
+The scalar per-token ``process`` path is the reference implementation;
+the batched ``process_batch`` path (hash banks, stacked reducers,
+windowed candidate pools) must produce *the same numbers*, not merely
+statistically similar ones, for every way of chunking the stream.  Each
+test replays one fixed-seed stream through chunk sizes 1, 7, 4096 and
+whole-stream and demands exact equality with the per-token run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EstimateMaxCover
+from repro.core.large_common import LargeCommon
+from repro.core.large_set import LargeSet
+from repro.core.oracle import Oracle
+from repro.core.small_set import SmallSet
+
+CHUNK_SIZES = (1, 7, 4096, None)  # None = the whole stream in one call
+
+
+def _replay_scalar(algo, set_ids, elements):
+    for set_id, element in zip(set_ids.tolist(), elements.tolist()):
+        algo.process(set_id, element)
+    return algo
+
+
+def _replay_chunked(algo, set_ids, elements, chunk_size):
+    if chunk_size is None:
+        chunk_size = max(1, len(set_ids))
+    for start in range(0, len(set_ids), chunk_size):
+        stop = start + chunk_size
+        algo.process_batch(set_ids[start:stop], elements[start:stop])
+    return algo
+
+
+def _stream_arrays(planted_stream):
+    return planted_stream.as_arrays()
+
+
+@pytest.fixture(scope="module")
+def arrays(planted_stream):
+    return planted_stream.as_arrays()
+
+
+class TestEstimateMaxCover:
+    def _make(self, planted_workload):
+        system = planted_workload.system
+        return EstimateMaxCover(
+            m=system.m, n=system.n, k=6, alpha=3.0, seed=5
+        )
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_estimate_bit_identical(
+        self, planted_workload, arrays, chunk_size
+    ):
+        set_ids, elements = arrays
+        reference = _replay_scalar(
+            self._make(planted_workload), set_ids, elements
+        )
+        batched = _replay_chunked(
+            self._make(planted_workload), set_ids, elements, chunk_size
+        )
+        assert batched.estimate() == reference.estimate()
+
+    def test_branch_estimates_bit_identical(self, planted_workload, arrays):
+        set_ids, elements = arrays
+        reference = _replay_scalar(
+            self._make(planted_workload), set_ids, elements
+        )
+        batched = _replay_chunked(
+            self._make(planted_workload), set_ids, elements, 4096
+        )
+        reference.finalize()
+        batched.finalize()
+        assert batched.branch_estimates() == reference.branch_estimates()
+
+
+class TestOracle:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_estimate_bit_identical(
+        self, practical_params, arrays, chunk_size
+    ):
+        set_ids, elements = arrays
+        reference = _replay_scalar(
+            Oracle(practical_params, seed=5), set_ids, elements
+        )
+        batched = _replay_chunked(
+            Oracle(practical_params, seed=5), set_ids, elements, chunk_size
+        )
+        assert batched.estimate() == reference.estimate()
+
+
+class TestSubroutines:
+    """Each oracle subroutine individually, same seeds both paths."""
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize(
+        "factory", [LargeCommon, LargeSet, SmallSet],
+        ids=lambda f: f.__name__,
+    )
+    def test_estimate_bit_identical(
+        self, practical_params, arrays, factory, chunk_size
+    ):
+        set_ids, elements = arrays
+        reference = _replay_scalar(
+            factory(practical_params, seed=5), set_ids, elements
+        )
+        batched = _replay_chunked(
+            factory(practical_params, seed=5), set_ids, elements, chunk_size
+        )
+        assert batched.estimate() == reference.estimate()
+
+
+class TestChunkingInvariance:
+    """Chunk boundaries never leak into the result: ragged vs regular."""
+
+    def test_ragged_chunks_match_regular(self, planted_workload, arrays):
+        set_ids, elements = arrays
+        system = planted_workload.system
+
+        def make():
+            return EstimateMaxCover(
+                m=system.m, n=system.n, k=6, alpha=3.0, seed=9
+            )
+
+        regular = _replay_chunked(make(), set_ids, elements, 512)
+        ragged = make()
+        rng = np.random.default_rng(0)
+        start = 0
+        while start < len(set_ids):
+            stop = min(len(set_ids), start + int(rng.integers(1, 700)))
+            ragged.process_batch(set_ids[start:stop], elements[start:stop])
+            start = stop
+        assert ragged.estimate() == regular.estimate()

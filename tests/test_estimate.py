@@ -62,10 +62,85 @@ class TestEstimation:
         assert set(algo.branch_estimates()) <= {64, 256}
 
 
+class TestTrivialRegimeEdge:
+    def test_boundary_k_alpha_exactly_m_is_trivial(self):
+        algo = EstimateMaxCover(m=40, n=100, k=10, alpha=4.0, seed=1)
+        assert algo.trivial
+
+    def test_just_below_boundary_is_not_trivial(self):
+        algo = EstimateMaxCover(m=41, n=100, k=10, alpha=4.0, seed=1)
+        assert not algo.trivial
+
+    def test_trivial_batch_path_is_a_no_op(self):
+        import numpy as np
+
+        algo = EstimateMaxCover(m=20, n=100, k=10, alpha=4.0, seed=1)
+        algo.process_batch(np.arange(5), np.arange(5))
+        assert algo.peek_estimate() == pytest.approx(25.0)
+        assert algo.estimate() == pytest.approx(25.0)
+
+
+class TestPeekEstimate:
+    def test_peek_matches_estimate_at_end_of_stream(self, planted_workload):
+        algo = _run(planted_workload, 6, 3.0, seed=4, z_guesses=[64, 256])
+        peeked = algo.peek_estimate()
+        assert algo.estimate() == peeked
+
+    def test_peek_does_not_finalise(self, planted_workload):
+        system = planted_workload.system
+        algo = EstimateMaxCover(
+            m=system.m, n=system.n, k=6, alpha=3.0, seed=4, z_guesses=[64]
+        )
+        stream = EdgeStream.from_system(system, order="random", seed=1)
+        set_ids, elements = stream.as_arrays()
+        half = len(set_ids) // 2
+        algo.process_batch(set_ids[:half], elements[:half])
+        mid = algo.peek_estimate()
+        assert mid >= 0.0
+        # The pass continues after peeking; the single-pass contract is
+        # only sealed by estimate()/finalize().
+        algo.process_batch(set_ids[half:], elements[half:])
+        assert algo.estimate() == algo.peek_estimate()
+
+    def test_midstream_peek_consistent_with_fresh_run(self, planted_workload):
+        """Peeking at token T equals running a fresh instance on [:T]."""
+        system = planted_workload.system
+
+        def make():
+            return EstimateMaxCover(
+                m=system.m, n=system.n, k=6, alpha=3.0, seed=4,
+                z_guesses=[64],
+            )
+
+        stream = EdgeStream.from_system(system, order="random", seed=1)
+        set_ids, elements = stream.as_arrays()
+        half = len(set_ids) // 2
+        running = make()
+        running.process_batch(set_ids[:half], elements[:half])
+        fresh = make()
+        fresh.process_batch(set_ids[:half], elements[:half])
+        assert running.peek_estimate() == fresh.peek_estimate()
+
+
 class TestValidation:
     def test_rejects_bad_mode(self):
         with pytest.raises(ValueError, match="mode"):
             EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, mode="quantum")
+
+    def test_rejects_delta_with_repetitions(self):
+        with pytest.raises(ValueError, match="not both"):
+            EstimateMaxCover(
+                m=100, n=100, k=2, alpha=4.0, repetitions=2, delta=0.1
+            )
+
+    def test_delta_sets_repetition_count(self):
+        loose = EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, delta=0.25)
+        tight = EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, delta=1e-3)
+        assert tight.repetitions > loose.repetitions >= 1
+
+    def test_rejects_zero_z_guess(self):
+        with pytest.raises(ValueError, match="outside"):
+            EstimateMaxCover(m=100, n=100, k=2, alpha=4.0, z_guesses=[0])
 
     def test_rejects_bad_repetitions(self):
         with pytest.raises(ValueError):

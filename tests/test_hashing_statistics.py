@@ -1,0 +1,115 @@
+"""Statistical sanity of the hash families behind the batch engine.
+
+These tests treat the polynomial hashes as black boxes and check the
+distributional promises the paper's analyses lean on: near-uniform
+bucket occupancy for :class:`KWiseHash`, sign balance for
+:class:`SignHash`, and empirical sampling rate for
+:class:`SampledSet`.  All inputs are drawn from a seeded RNG and all
+tolerances are generous -- a failure here means a real break in the
+field arithmetic, not an unlucky draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.hashing import (
+    KWiseHash,
+    KWiseHashBank,
+    SampledSet,
+    SampledSetBank,
+    SignHash,
+)
+
+RNG = np.random.default_rng(20260805)
+
+
+def chi_square_statistic(values: np.ndarray, range_size: int) -> float:
+    """Pearson chi-square of observed bucket counts vs uniform."""
+    counts = np.bincount(values, minlength=range_size)
+    expected = len(values) / range_size
+    return float(((counts - expected) ** 2 / expected).sum())
+
+
+class TestKWiseHashUniformity:
+    @pytest.mark.parametrize("range_size", [2, 16, 97, 1024])
+    def test_chi_square_uniform(self, range_size):
+        hash_fn = KWiseHash(range_size, degree=4, seed=101)
+        xs = RNG.integers(0, 10**9, size=50 * range_size)
+        values = hash_fn(xs)
+        stat = chi_square_statistic(values, range_size)
+        # For df = range_size - 1 the statistic concentrates at df with
+        # standard deviation sqrt(2 df); eight sigmas is far beyond any
+        # plausible unlucky seed.
+        df = range_size - 1
+        assert stat < df + 8.0 * np.sqrt(2.0 * max(1, df))
+
+    @pytest.mark.parametrize("range_size", [16, 97])
+    def test_bank_rows_inherit_uniformity(self, range_size):
+        hashes = [
+            KWiseHash(range_size, degree=4, seed=s) for s in (7, 8, 9)
+        ]
+        bank = KWiseHashBank(hashes)
+        xs = RNG.integers(0, 10**9, size=50 * range_size)
+        rows = bank.eval_many(xs)
+        df = range_size - 1
+        for row in rows:
+            stat = chi_square_statistic(row, range_size)
+            assert stat < df + 8.0 * np.sqrt(2.0 * df)
+
+    def test_sequential_inputs_spread(self):
+        # Hash inputs in practice are consecutive ids, not random ones.
+        hash_fn = KWiseHash(64, degree=4, seed=3)
+        values = hash_fn(np.arange(64 * 50))
+        stat = chi_square_statistic(values, 64)
+        assert stat < 63 + 8.0 * np.sqrt(2.0 * 63)
+
+
+class TestSignHashBalance:
+    def test_signs_balanced(self):
+        sign = SignHash(seed=11)
+        xs = RNG.integers(0, 10**9, size=20000)
+        signs = sign(xs)
+        assert set(np.unique(signs)) <= {-1, 1}
+        # Mean of n fair signs has std 1/sqrt(n); allow eight sigmas.
+        assert abs(float(signs.mean())) < 8.0 / np.sqrt(len(xs))
+
+    def test_pairwise_products_balanced(self):
+        # 4-wise independence implies product of two distinct signs is
+        # itself a fair sign.
+        sign = SignHash(seed=12)
+        xs = RNG.integers(0, 10**9, size=20000)
+        products = sign(xs) * sign(xs + 1)
+        assert abs(float(products.mean())) < 8.0 / np.sqrt(len(xs))
+
+
+class TestSampledSetRate:
+    @pytest.mark.parametrize("rate", [1, 4, 32, 200])
+    def test_empirical_rate_close_to_nominal(self, rate):
+        sampled = SampledSet(rate, seed=21)
+        xs = RNG.integers(0, 10**9, size=200 * rate)
+        hits = sampled.contains_many(xs)
+        observed = float(hits.mean())
+        expected = sampled.probability
+        # Binomial std is sqrt(p(1-p)/n); eight sigmas plus an absolute
+        # floor keeps the small-rate cases honest without flakes.
+        sigma = np.sqrt(expected * (1 - expected) / len(xs))
+        assert abs(observed - expected) <= max(8.0 * sigma, 1e-12)
+
+    def test_bank_agrees_with_members(self):
+        sets = [SampledSet(r, seed=40 + r) for r in (1, 3, 17)]
+        bank = SampledSetBank(sets)
+        xs = RNG.integers(0, 10**9, size=5000)
+        matrix = bank.contains_matrix(xs)
+        for row, member in zip(matrix, sets):
+            assert np.array_equal(row, member.contains_many(xs))
+
+    def test_disjoint_seeds_sample_independently(self):
+        first = SampledSet(8, seed=31)
+        second = SampledSet(8, seed=32)
+        xs = RNG.integers(0, 10**9, size=64000)
+        joint = (first.contains_many(xs) & second.contains_many(xs)).mean()
+        expected = first.probability * second.probability
+        sigma = np.sqrt(expected * (1 - expected) / len(xs))
+        assert abs(float(joint) - expected) <= 8.0 * sigma
