@@ -37,11 +37,17 @@ Package map
 """
 
 from repro.base import (
+    MergeIncompatibleError,
     RunReport,
     SetArrivalAlgorithm,
     StreamConsumedError,
     StreamingAlgorithm,
     StreamRunner,
+)
+from repro.parallel import (
+    ShardedRunReport,
+    ShardedStreamRunner,
+    ShardTiming,
 )
 from repro.core import (
     EstimateMaxCover,
@@ -82,8 +88,12 @@ __all__ = [
     "StreamingAlgorithm",
     "SetArrivalAlgorithm",
     "StreamConsumedError",
+    "MergeIncompatibleError",
     "StreamRunner",
     "RunReport",
+    "ShardedStreamRunner",
+    "ShardedRunReport",
+    "ShardTiming",
     # core
     "Parameters",
     "UniverseReducer",

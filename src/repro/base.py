@@ -29,10 +29,13 @@ import numpy as np
 
 __all__ = [
     "StreamConsumedError",
+    "MergeIncompatibleError",
     "StreamingAlgorithm",
     "SetArrivalAlgorithm",
     "RunReport",
     "StreamRunner",
+    "pack_state",
+    "unpack_state",
 ]
 
 
@@ -42,6 +45,39 @@ class StreamConsumedError(RuntimeError):
     The streaming model studied by the paper is strictly single pass; the
     library enforces it so that tests catch accidental multi-pass use.
     """
+
+
+class MergeIncompatibleError(ValueError):
+    """Raised when two algorithm instances cannot be merged.
+
+    Merging is only defined between instances built with *identical*
+    parameters and hash seeds: two shards of the same logical pass.
+    Anything else -- different seeds, different sketch shapes, different
+    parameter schedules -- would silently combine incomparable state, so
+    :meth:`StreamingAlgorithm.merge` validates and raises this error
+    (a :class:`ValueError`) instead.
+    """
+
+
+def pack_state(state: dict, name: str, child_state: dict) -> None:
+    """Fold a child's state arrays into ``state`` under ``name/``.
+
+    State dictionaries are flat ``{key: ndarray}`` maps; composite
+    algorithms namespace their children with ``/``-separated prefixes
+    (``"branches/0/oracle/..."``), which ``np.savez`` stores verbatim.
+    """
+    for key, value in child_state.items():
+        state[f"{name}/{key}"] = value
+
+
+def unpack_state(state: dict, name: str) -> dict:
+    """Extract the sub-dictionary packed under ``name/`` by :func:`pack_state`."""
+    prefix = name + "/"
+    return {
+        key[len(prefix):]: value
+        for key, value in state.items()
+        if key.startswith(prefix)
+    }
 
 
 class StreamingAlgorithm(abc.ABC):
@@ -165,6 +201,87 @@ class StreamingAlgorithm(abc.ABC):
         """End the pass; subsequent :meth:`process` calls raise."""
         self._finalized = True
 
+    # -- merging (sharded / distributed streams) ---------------------------
+
+    def merge(self, other: "StreamingAlgorithm") -> "StreamingAlgorithm":
+        """Absorb another instance of the same pass; returns ``self``.
+
+        ``other`` must be an instance of the same class built with
+        identical parameters and hash seeds -- a shard of the same
+        logical stream.  After the merge, ``self`` holds the state of a
+        single pass over the concatenation ``self's tokens ++ other's
+        tokens``; ``other`` is consumed and must not be used again.
+
+        For the linear sketches this equality is exact (bit-identical to
+        the single pass).  For candidate-pool state the reconciliation
+        is deterministic and documented per class.  Where the tracked
+        state is insertion-ordered (candidate pools, per-superset sketch
+        tables), shards must be merged left-to-right in stream order to
+        reproduce the single pass's first-arrival order.
+
+        Raises :class:`TypeError` for a different class and
+        :class:`MergeIncompatibleError` for mismatched parameters or
+        seeds.
+        """
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(self).__name__} with "
+                f"{type(other).__name__}"
+            )
+        self._check_open()
+        self._require_mergeable(other)
+        self._merge(other)
+        self._tokens_seen += other._tokens_seen
+        return self
+
+    def _require_mergeable(self, other) -> None:
+        """Raise :class:`MergeIncompatibleError` unless ``other`` is a
+        same-parameters, same-seeds instance.  Default: no constraints."""
+
+    def _merge(self, other) -> None:
+        """Combine ``other``'s validated state into ``self``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement merge"
+        )
+
+    # -- state shipping (checkpointing / worker processes) ------------------
+
+    def state_arrays(self) -> dict:
+        """The algorithm's mutable state as a flat ``{key: ndarray}`` dict.
+
+        Covers *state only* -- counters, pools, stored edges -- not the
+        constructor parameters or hash coefficients; load the dict into
+        an instance constructed with the identical arguments and seed
+        (see :func:`repro.sketch.serialize.save_state`).  Composite
+        algorithms namespace children with ``/``-separated key prefixes.
+        """
+        state = self._state_arrays()
+        state["tokens"] = np.asarray(self._tokens_seen, dtype=np.int64)
+        return state
+
+    def load_state_arrays(self, state: dict) -> "StreamingAlgorithm":
+        """Restore state captured by :meth:`state_arrays`; returns ``self``.
+
+        ``self`` must be a freshly constructed instance with the same
+        parameters and seed as the instance that produced ``state``; the
+        restored algorithm continues its pass (or merges) exactly like
+        the original.
+        """
+        self._check_open()
+        self._load_state_arrays(state)
+        self._tokens_seen = int(state["tokens"])
+        return self
+
+    def _state_arrays(self) -> dict:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state shipping"
+        )
+
+    def _load_state_arrays(self, state: dict) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state shipping"
+        )
+
     @abc.abstractmethod
     def _process(self, *token) -> None:
         """Handle one stream token (single-pass hot path)."""
@@ -257,10 +374,16 @@ class RunReport:
 
     @property
     def tokens_per_sec(self) -> float:
-        """Throughput; ``inf`` for a pass too fast to time."""
-        if self.seconds <= 0:
-            return float("inf")
-        return self.tokens / self.seconds
+        """Throughput, always finite.
+
+        A pass too fast for the wall clock to resolve (zero or
+        near-zero ``seconds``) is rated against a one-nanosecond floor
+        instead of dividing by the raw delta, so reports never contain
+        ``inf``; an empty pass rates 0.0.
+        """
+        if self.tokens <= 0:
+            return 0.0
+        return self.tokens / max(self.seconds, 1e-9)
 
 
 class StreamRunner:

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=4096,
             help="tokens per batch on the vectorized engine",
         )
+        p.add_argument(
+            "--workers",
+            type=positive_int,
+            default=1,
+            help="shard the stream over this many processes and merge "
+            "the sketches (identical answer, vectorized engine only)",
+        )
 
     est = sub.add_parser("estimate", help="estimate optimal coverage")
     add_common(est)
@@ -158,6 +165,29 @@ def _runner(args) -> StreamRunner:
     return StreamRunner(chunk_size=args.chunk_size, path=args.engine)
 
 
+def _run_maybe_sharded(args, factory, stream):
+    """Drive ``factory()`` over ``stream``; sharded when ``--workers > 1``.
+
+    Returns ``(algo, report)`` either way.  Sharding implies the
+    vectorized engine (each shard runs ``process_batch``); the scalar
+    reference path stays single-process.
+    """
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        if args.engine != "vectorized":
+            raise SystemExit(
+                "--workers > 1 requires the vectorized engine"
+            )
+        from repro.parallel import ShardedStreamRunner
+
+        return ShardedStreamRunner(
+            workers=workers, chunk_size=args.chunk_size
+        ).run(factory, stream)
+    algo = factory()
+    report = _runner(args).run(algo, stream)
+    return algo, report
+
+
 def _print_throughput(args, report) -> None:
     print(
         f"throughput: {report.tokens_per_sec:.0f} tokens/sec "
@@ -166,8 +196,11 @@ def _print_throughput(args, report) -> None:
 
 
 def _cmd_estimate(args) -> int:
+    import functools
+
     stream = _load(args)
-    algo = EstimateMaxCover(
+    factory = functools.partial(
+        EstimateMaxCover,
         m=stream.m,
         n=stream.n,
         k=args.k,
@@ -176,7 +209,7 @@ def _cmd_estimate(args) -> int:
         z_base=args.z_base,
         seed=args.seed,
     )
-    report = _runner(args).run(algo, stream)
+    algo, report = _run_maybe_sharded(args, factory, stream)
     value = algo.estimate()
     print(f"estimate: {value:.1f}")
     print(f"space_words: {algo.space_words()}")
@@ -185,11 +218,18 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    import functools
+
     stream = _load(args)
-    reporter = MaxCoverReporter(
-        m=stream.m, n=stream.n, k=args.k, alpha=args.alpha, seed=args.seed
+    factory = functools.partial(
+        MaxCoverReporter,
+        m=stream.m,
+        n=stream.n,
+        k=args.k,
+        alpha=args.alpha,
+        seed=args.seed,
     )
-    report = _runner(args).run(reporter, stream)
+    reporter, report = _run_maybe_sharded(args, factory, stream)
     cover = reporter.solution()
     print(f"set_ids: {' '.join(map(str, cover.set_ids))}")
     print(f"certified_coverage: {cover.estimated_coverage:.1f}")

@@ -32,10 +32,16 @@ import math
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.core.oracle import Oracle
 from repro.core.parameters import Parameters
 from repro.core.universe_reduction import ReducerBank, UniverseReducer
+from repro.sketch.hashing import same_hash
 
 __all__ = ["EstimateMaxCover"]
 
@@ -159,6 +165,51 @@ class EstimateMaxCover(StreamingAlgorithm):
         reduced = self._reducer_bank.map_all(elements)
         for row, (_z, _reducer, oracle) in zip(reduced, self._branches):
             oracle._ingest_batch(set_ids, row)
+
+    def _require_mergeable(self, other: "EstimateMaxCover") -> None:
+        if (
+            other.m != self.m
+            or other.n != self.n
+            or other.k != self.k
+            or other.alpha != self.alpha
+            or other.trivial != self.trivial
+            or other.repetitions != self.repetitions
+            or other.params != self.params
+        ):
+            raise MergeIncompatibleError(
+                "can only merge EstimateMaxCover instances with identical "
+                "instance shape and parameters"
+            )
+        if self.trivial:
+            return
+        if other.z_guesses != self.z_guesses or any(
+            not same_hash(mine._hash, theirs._hash)
+            for (_z, mine, _o), (_z2, theirs, _o2) in zip(
+                self._branches, other._branches
+            )
+        ):
+            raise MergeIncompatibleError(
+                "can only merge EstimateMaxCover instances with identical "
+                "seed (branch reduction hashes differ)"
+            )
+
+    def _merge(self, other: "EstimateMaxCover") -> None:
+        # Matching reduction hashes => each branch's oracles saw the same
+        # reduced streams; the trivial regime carries no state at all.
+        for (_z, _reducer, mine), (_z2, _r2, theirs) in zip(
+            self._branches, other._branches
+        ):
+            mine.merge(theirs)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for index, (_z, _reducer, oracle) in enumerate(self._branches):
+            pack_state(state, f"branches/{index}", oracle.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for index, (_z, _reducer, oracle) in enumerate(self._branches):
+            oracle.load_state_arrays(unpack_state(state, f"branches/{index}"))
 
     def estimate(self) -> float:
         """Finalise; the coverage estimate.

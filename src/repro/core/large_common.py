@@ -25,9 +25,14 @@ from __future__ import annotations
 
 import math
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.core.parameters import Parameters
-from repro.sketch.hashing import SampledSetBank
+from repro.sketch.hashing import SampledSetBank, same_sampled_set
 from repro.sketch.l0 import L0Sketch
 from repro.sketch.set_sampling import SetSampler
 
@@ -140,6 +145,40 @@ class LargeCommon(StreamingAlgorithm):
                 if best is None or candidate > best:
                     best = candidate
         return best
+
+    def _require_mergeable(self, other: "LargeCommon") -> None:
+        if (
+            other.params != self.params
+            or other.betas != self.betas
+            or any(
+                not same_sampled_set(
+                    mine._membership, theirs._membership
+                )
+                for mine, theirs in zip(self._samplers, other._samplers)
+            )
+        ):
+            raise MergeIncompatibleError(
+                "can only merge LargeCommon instances with identical "
+                "seeds and parameters"
+            )
+
+    def _merge(self, other: "LargeCommon") -> None:
+        # Same per-layer samplers => each layer's sketches measured the
+        # same sampled sub-stream; the per-layer sketch merge (which
+        # validates its own seed) is the whole merge.  A custom
+        # ``l0_factory`` must produce merge-capable sketches.
+        for mine, theirs in zip(self._sketches, other._sketches):
+            mine.merge(theirs)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for layer, sketch in enumerate(self._sketches):
+            pack_state(state, f"layers/{layer}", sketch.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for layer, sketch in enumerate(self._sketches):
+            sketch.load_state_arrays(unpack_state(state, f"layers/{layer}"))
 
     def layer_coverages(self) -> list[tuple[float, float]]:
         """``(beta_g, measured coverage)`` per layer, for diagnostics."""

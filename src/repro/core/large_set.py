@@ -42,7 +42,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.core.parameters import Parameters
 from repro.sketch.contributing import F2Contributing
 from repro.sketch.element_sampling import ElementSampler
@@ -51,6 +56,8 @@ from repro.sketch.hashing import (
     SampledSet,
     SampledSetBank,
     default_degree,
+    same_hash,
+    same_sampled_set,
 )
 from repro.sketch.l0 import L0Sketch
 
@@ -218,6 +225,79 @@ class LargeSetRun(StreamingAlgorithm):
                 self._superset_sketch(int(sid)).process_batch(
                     kept_elems[kept_sids == sid]
                 )
+
+    # -- merging / state ----------------------------------------------------
+
+    def _require_mergeable(self, other: "LargeSetRun") -> None:
+        mine_sampler = self.element_sampler
+        theirs_sampler = other.element_sampler
+        samplers_match = (
+            mine_sampler is None and theirs_sampler is None
+        ) or (
+            mine_sampler is not None
+            and theirs_sampler is not None
+            and same_sampled_set(
+                mine_sampler._membership, theirs_sampler._membership
+            )
+        )
+        if (
+            other.params != self.params
+            or other.w != self.w
+            or other.num_supersets != self.num_supersets
+            or other._l0_seed != self._l0_seed
+            or other._l0_size != self._l0_size
+            or not same_hash(self._partition, other._partition)
+            or not same_sampled_set(
+                self._superset_sampler, other._superset_sampler
+            )
+            or not samplers_match
+        ):
+            raise MergeIncompatibleError(
+                "can only merge LargeSet runs with identical seeds and "
+                "parameters"
+            )
+
+    def _merge(self, other: "LargeSetRun") -> None:
+        self._cntr_small.merge(other._cntr_small)
+        self._cntr_large.merge(other._cntr_large)
+        # Same partition + same derived per-superset seeds => sketches
+        # for the same superset id merge exactly.  Keeping ``self``'s
+        # ids first and appending ``other``'s new ids in their arrival
+        # order reproduces the single pass's dict insertion order (a
+        # superset first seen in a later shard first appears globally
+        # there), which :meth:`peek_outcome` relies on for its
+        # first-wins tie-breaking.
+        for sid, sketch in other._superset_l0.items():
+            mine = self._superset_l0.get(sid)
+            if mine is None:
+                self._superset_l0[sid] = sketch
+            else:
+                mine.merge(sketch)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {
+            "l0_sids": np.asarray(
+                list(self._superset_l0.keys()), dtype=np.int64
+            )
+        }
+        pack_state(state, "cntr_small", self._cntr_small.state_arrays())
+        pack_state(state, "cntr_large", self._cntr_large.state_arrays())
+        for sid, sketch in self._superset_l0.items():
+            pack_state(state, f"l0/{sid}", sketch.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        self._cntr_small.load_state_arrays(unpack_state(state, "cntr_small"))
+        self._cntr_large.load_state_arrays(unpack_state(state, "cntr_large"))
+        self._superset_l0 = {}
+        for sid in state["l0_sids"]:
+            sid = int(sid)
+            sketch = L0Sketch(
+                sketch_size=self._l0_size,
+                seed=(self._l0_seed + sid) & (2**63 - 1),
+            )
+            sketch.load_state_arrays(unpack_state(state, f"l0/{sid}"))
+            self._superset_l0[sid] = sketch
 
     # -- post-pass ----------------------------------------------------------
 
@@ -411,6 +491,31 @@ class LargeSet(StreamingAlgorithm):
             else 1.0
         )
         return min(float(p.n), out.value_on_sample / probability)
+
+    def _require_mergeable(self, other: "LargeSet") -> None:
+        if other.params != self.params or len(other._runs) != len(
+            self._runs
+        ):
+            raise MergeIncompatibleError(
+                "can only merge LargeSet instances with identical "
+                "parameters and run count"
+            )
+
+    def _merge(self, other: "LargeSet") -> None:
+        # Per-run validation (seeds, partitions, samplers) happens in
+        # each run's own merge.
+        for mine, theirs in zip(self._runs, other._runs):
+            mine.merge(theirs)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for index, run in enumerate(self._runs):
+            pack_state(state, f"runs/{index}", run.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for index, run in enumerate(self._runs):
+            run.load_state_arrays(unpack_state(state, f"runs/{index}"))
 
     def space_words(self) -> int:
         return sum(run.space_words() for run in self._runs)

@@ -31,7 +31,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.core.large_common import LargeCommon
 from repro.core.large_set import LargeSet
 from repro.core.parameters import Parameters
@@ -136,6 +141,39 @@ class Oracle(StreamingAlgorithm):
             self._large_set._ingest_batch(set_ids, elements)
         if self._small_set is not None:
             self._small_set._ingest_batch(set_ids, elements)
+
+    def _children(self):
+        return (
+            ("large_common", self._large_common),
+            ("large_set", self._large_set),
+            ("small_set", self._small_set),
+        )
+
+    def _require_mergeable(self, other: "Oracle") -> None:
+        if other.params != self.params or other.enabled != self.enabled:
+            raise MergeIncompatibleError(
+                "can only merge Oracle instances with identical "
+                "parameters and enabled subroutines"
+            )
+
+    def _merge(self, other: "Oracle") -> None:
+        for (_name, mine), (_n2, theirs) in zip(
+            self._children(), other._children()
+        ):
+            if mine is not None:
+                mine.merge(theirs)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for name, child in self._children():
+            if child is not None:
+                pack_state(state, name, child.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for name, child in self._children():
+            if child is not None:
+                child.load_state_arrays(unpack_state(state, name))
 
     def oracle_estimate(self) -> OracleEstimate:
         """Finalise; max over subroutines, with provenance."""

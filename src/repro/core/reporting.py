@@ -35,11 +35,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.core.large_set import LargeSet
 from repro.core.parameters import Parameters
 from repro.core.small_set import SmallSet
-from repro.sketch.hashing import KWiseHash, default_degree
+from repro.sketch.hashing import (
+    KWiseHash,
+    default_degree,
+    same_hash,
+    same_sampled_set,
+)
 from repro.sketch.l0 import L0Sketch
 from repro.sketch.set_sampling import SetSampler
 
@@ -150,6 +160,72 @@ class ReportingLargeCommon(StreamingAlgorithm):
                     layer_l0[group] = sketch
                 sketch.process_batch(kept_elems[groups == group])
 
+    def _require_mergeable(self, other: "ReportingLargeCommon") -> None:
+        if (
+            other.params != self.params
+            or other.betas != self.betas
+            or other._l0_seeds != self._l0_seeds
+            or other._l0_size != self._l0_size
+            or any(
+                not same_sampled_set(mine._membership, theirs._membership)
+                for mine, theirs in zip(self._samplers, other._samplers)
+            )
+            or any(
+                not same_hash(mine, theirs)
+                for mine, theirs in zip(
+                    self._group_hashes, other._group_hashes
+                )
+            )
+        ):
+            raise MergeIncompatibleError(
+                "can only merge ReportingLargeCommon instances with "
+                "identical seeds and parameters"
+            )
+
+    def _merge(self, other: "ReportingLargeCommon") -> None:
+        # Per-group sketches are created lazily, keyed by group id with a
+        # deterministic per-group seed, so a group present in only one
+        # shard merges by adoption.  Keep self's first-seen group order,
+        # appending the other shard's new groups in its order, which
+        # reproduces the single-pass dict order shard-by-shard.
+        for layer, theirs in enumerate(other._group_l0):
+            mine = self._group_l0[layer]
+            for group, sketch in theirs.items():
+                known = mine.get(group)
+                if known is None:
+                    mine[group] = sketch
+                else:
+                    known.merge(sketch)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for layer, layer_l0 in enumerate(self._group_l0):
+            state[f"layers/{layer}/gids"] = np.asarray(
+                list(layer_l0.keys()), dtype=np.int64
+            )
+            for gid, sketch in layer_l0.items():
+                pack_state(
+                    state,
+                    f"layers/{layer}/groups/{gid}",
+                    sketch.state_arrays(),
+                )
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for layer in range(len(self.betas)):
+            layer_l0: dict[int, L0Sketch] = {}
+            for gid in state[f"layers/{layer}/gids"]:
+                gid = int(gid)
+                sketch = L0Sketch(
+                    sketch_size=self._l0_size,
+                    seed=(self._l0_seeds[layer] + gid) & (2**63 - 1),
+                )
+                sketch.load_state_arrays(
+                    unpack_state(state, f"layers/{layer}/groups/{gid}")
+                )
+                layer_l0[gid] = sketch
+            self._group_l0[layer] = layer_l0
+
     def best_group(self) -> tuple[float, int, int] | None:
         """Finalise; ``(coverage estimate, layer, group)`` clearing the
         Figure 3 threshold, or ``None``."""
@@ -239,6 +315,39 @@ class MaxCoverReporter(StreamingAlgorithm):
         self._large_set.process_batch(set_ids, elements)
         if self._small_set is not None:
             self._small_set.process_batch(set_ids, elements)
+
+    def _require_mergeable(self, other: "MaxCoverReporter") -> None:
+        if other.params != self.params:
+            raise MergeIncompatibleError(
+                "can only merge MaxCoverReporter instances with identical "
+                "parameters"
+            )
+
+    def _merge(self, other: "MaxCoverReporter") -> None:
+        # Children validate their own seeds; mismatched top-level seeds
+        # surface as a child MergeIncompatibleError.
+        self._large_common.merge(other._large_common)
+        self._large_set.merge(other._large_set)
+        if self._small_set is not None:
+            self._small_set.merge(other._small_set)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        pack_state(state, "large_common", self._large_common.state_arrays())
+        pack_state(state, "large_set", self._large_set.state_arrays())
+        if self._small_set is not None:
+            pack_state(state, "small_set", self._small_set.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        self._large_common.load_state_arrays(
+            unpack_state(state, "large_common")
+        )
+        self._large_set.load_state_arrays(unpack_state(state, "large_set"))
+        if self._small_set is not None:
+            self._small_set.load_state_arrays(
+                unpack_state(state, "small_set")
+            )
 
     def solution(self) -> ReportedCover:
         """Finalise; the best certified k-cover across subroutines."""

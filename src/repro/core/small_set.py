@@ -30,12 +30,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.core.parameters import Parameters
 from repro.coverage.greedy import lazy_greedy
 from repro.coverage.setsystem import SetSystem
 from repro.sketch.element_sampling import ElementSampler
-from repro.sketch.hashing import SampledSetBank
+from repro.sketch.hashing import SampledSetBank, same_sampled_set
 from repro.sketch.set_sampling import SetSampler
 
 __all__ = ["SmallSetRun", "SmallSet"]
@@ -112,6 +117,56 @@ class SmallSetRun:
             # is terminated (its precondition evidently does not hold).
             self.alive = False
             self.edges.clear()
+
+    def merge(self, other: "SmallSetRun") -> "SmallSetRun":
+        """Absorb a same-seeds shard of this run; *provably exact*.
+
+        A run's stored edge set grows monotonically until it dies, and
+        it dies exactly when its distinct stored edges exceed the
+        budget.  The merged union exceeds the budget iff a single pass
+        over the concatenated stream would have -- so dead-absorbs-all
+        and die-on-overflow reproduce the single pass's aliveness and
+        edges exactly (edge sets are content-compared; arrival order
+        never matters downstream).
+        """
+        if (
+            other.gamma != self.gamma
+            or other.budget != self.budget
+            or not same_sampled_set(
+                self.set_sampler._membership, other.set_sampler._membership
+            )
+            or not same_sampled_set(
+                self.element_sampler._membership,
+                other.element_sampler._membership,
+            )
+        ):
+            raise MergeIncompatibleError(
+                "can only merge SmallSet runs with identical seeds, "
+                "gamma, and budget"
+            )
+        if not (self.alive and other.alive):
+            self.alive = False
+            self.edges.clear()
+            return self
+        self.edges |= other.edges
+        if len(self.edges) > self.budget:
+            self.alive = False
+            self.edges.clear()
+        return self
+
+    def state_arrays(self) -> dict:
+        return {
+            "edges": np.asarray(
+                sorted(self.edges), dtype=np.int64
+            ).reshape(-1, 2),
+            "alive": np.asarray(self.alive, dtype=np.bool_),
+        }
+
+    def load_state_arrays(self, state: dict) -> None:
+        self.edges = {
+            (int(s), int(e)) for s, e in state["edges"]
+        }
+        self.alive = bool(state["alive"])
 
     def space_words(self) -> int:
         stored = 2 * len(self.edges)
@@ -287,6 +342,33 @@ class SmallSet(StreamingAlgorithm):
             if best is None or value[0] > best[0]:
                 best = value
         return best
+
+    def _require_mergeable(self, other: "SmallSet") -> None:
+        if (
+            other.params != self.params
+            or other.repetitions != self.repetitions
+            or other.min_support != self.min_support
+            or other.gammas != self.gammas
+            or len(other._runs) != len(self._runs)
+        ):
+            raise MergeIncompatibleError(
+                "can only merge SmallSet instances with identical "
+                "parameters and grid"
+            )
+
+    def _merge(self, other: "SmallSet") -> None:
+        for mine, theirs in zip(self._runs, other._runs):
+            mine.merge(theirs)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for index, run in enumerate(self._runs):
+            pack_state(state, f"runs/{index}", run.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for index, run in enumerate(self._runs):
+            run.load_state_arrays(unpack_state(state, f"runs/{index}"))
 
     def space_words(self) -> int:
         return sum(run.space_words() for run in self._runs)

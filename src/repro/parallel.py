@@ -1,0 +1,237 @@
+"""Sharded parallel stream execution over mergeable sketches.
+
+The paper's algorithms are built from *linear* (mergeable) sketches, and
+mergeability is exactly what makes the general streaming model
+distribution-friendly: split the edge sequence into contiguous shards,
+run an identically-seeded copy of the algorithm on each shard in its own
+process, ship the state arrays back, and merge in shard order.  Because
+every ``merge`` in this package reconciles non-linear state (candidate
+pools, lazily-created per-group sketches) on the combined token schedule,
+the merged coordinator state is the single-pass state -- the
+shard-equivalence suite (``tests/test_shard_equivalence.py``) checks the
+final answers bit-for-bit.
+
+Usage::
+
+    from functools import partial
+    from repro import EstimateMaxCover, ShardedStreamRunner
+
+    factory = partial(EstimateMaxCover, m=150, n=300, k=6, alpha=3.0, seed=7)
+    runner = ShardedStreamRunner(workers=4)
+    algo, report = runner.run(factory, stream)
+    print(algo.estimate(), report.tokens_per_sec)
+
+The ``factory`` (not an instance) is the unit of distribution: each
+worker builds its own copy with the *same* constructor arguments -- hence
+the same hash seeds -- which is the precondition every ``merge`` method
+validates.  ``factory`` must be picklable; ``functools.partial`` of the
+class is the canonical spell.
+
+Worker state travels through
+:func:`~repro.sketch.serialize.dumps_state` /
+:func:`~repro.sketch.serialize.loads_state` (flat numpy ``.npz`` blobs,
+no code pickling).  The ``serial`` backend runs the same
+shard/ship/merge pipeline in-process -- identical numerics, no pool --
+and is both the deterministic test harness and the fallback when
+processes are unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.base import RunReport, StreamRunner
+from repro.sketch.serialize import dumps_state, loads_state
+
+__all__ = ["ShardTiming", "ShardedRunReport", "ShardedStreamRunner"]
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Per-shard accounting inside a :class:`ShardedRunReport`.
+
+    Attributes
+    ----------
+    shard:
+        Shard index (shards are contiguous stream ranges, in order).
+    tokens:
+        Edges the shard processed.
+    seconds:
+        Wall-clock duration of the shard's pass (excludes shipping).
+    """
+
+    shard: int
+    tokens: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ShardedRunReport(RunReport):
+    """A :class:`~repro.base.RunReport` plus sharding detail.
+
+    ``tokens``/``chunks``/``seconds`` describe the whole sharded run
+    (``seconds`` is end-to-end wall clock, so ``tokens_per_sec`` reflects
+    realised parallel throughput); ``shards`` breaks the pass down.
+    """
+
+    workers: int = 1
+    merge_seconds: float = 0.0
+    shards: tuple[ShardTiming, ...] = field(default_factory=tuple)
+
+
+def _shard_worker(payload):
+    """Run one shard; returns ``(index, tokens, chunks, seconds, blob)``.
+
+    Module-level so it pickles under the ``spawn`` start method.  The
+    payload carries the algorithm factory plus the shard's column
+    arrays; the result carries only the state blob, never the object.
+    """
+    index, factory, set_ids, elements, chunk_size = payload
+    algo = factory()
+    start = time.perf_counter()
+    chunks = 0
+    for lo in range(0, len(set_ids), chunk_size):
+        algo.process_batch(
+            set_ids[lo : lo + chunk_size], elements[lo : lo + chunk_size]
+        )
+        chunks += 1
+    seconds = time.perf_counter() - start
+    return index, len(set_ids), chunks, seconds, dumps_state(algo)
+
+
+def _stream_columns(stream) -> tuple[np.ndarray, np.ndarray]:
+    """The stream's ``(set_ids, elements)`` columns as int64 arrays."""
+    if hasattr(stream, "as_arrays"):
+        return stream.as_arrays()
+    edges = list(stream)
+    if not edges:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    arr = np.asarray(edges, dtype=np.int64)
+    return arr[:, 0].copy(), arr[:, 1].copy()
+
+
+class ShardedStreamRunner:
+    """Partition a stream into contiguous shards and merge the sketches.
+
+    Parameters
+    ----------
+    workers:
+        Number of shards (and, on the ``process`` backend, pool size).
+    chunk_size:
+        Edges per ``process_batch`` call inside each shard, same knob as
+        :class:`~repro.base.StreamRunner`.
+    backend:
+        ``"process"`` fans shards to a ``multiprocessing`` pool;
+        ``"serial"`` runs the identical shard/ship/merge pipeline
+        in-process (deterministic harness / no-pool fallback).
+    """
+
+    BACKENDS = ("process", "serial")
+
+    def __init__(
+        self,
+        workers: int = 2,
+        chunk_size: int = 4096,
+        backend: str = "process",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {self.BACKENDS}"
+            )
+        self.workers = int(workers)
+        self.chunk_size = int(chunk_size)
+        self.backend = backend
+
+    def shard_bounds(
+        self, total: int, boundaries: list[int] | None = None
+    ) -> list[tuple[int, int]]:
+        """``[lo, hi)`` token ranges, one per shard, covering ``total``.
+
+        By default the split is balanced-contiguous; explicit interior
+        ``boundaries`` (sorted cut indices) override it, which the
+        equivalence tests use to probe pathologically uneven splits.
+        """
+        if boundaries is None:
+            return [
+                (
+                    (i * total) // self.workers,
+                    ((i + 1) * total) // self.workers,
+                )
+                for i in range(self.workers)
+            ]
+        cuts = [0, *boundaries, total]
+        if sorted(cuts) != cuts or len(cuts) != self.workers + 1:
+            raise ValueError(
+                f"boundaries must be {self.workers - 1} sorted interior "
+                f"cut indices in [0, {total}], got {boundaries}"
+            )
+        return list(zip(cuts[:-1], cuts[1:]))
+
+    def run(self, factory, stream, boundaries: list[int] | None = None):
+        """Shard ``stream``, run ``factory()`` per shard, merge, report.
+
+        Returns ``(algo, report)``: the coordinator's merged algorithm
+        instance (ready for ``estimate()`` / ``solution()`` / more
+        tokens) and a :class:`ShardedRunReport`.
+
+        ``factory`` must build identically-parameterised instances every
+        call (same seeds!) and, on the ``process`` backend, be picklable
+        -- ``functools.partial(EstimateMaxCover, m=..., seed=...)`` is
+        the canonical form.  Shards are merged left-to-right in stream
+        order, which the pool-style sketches rely on to reproduce the
+        single-pass state exactly.
+        """
+        start = time.perf_counter()
+        set_ids, elements = _stream_columns(stream)
+        total = len(set_ids)
+        bounds = self.shard_bounds(total, boundaries)
+        payloads = [
+            (i, factory, set_ids[lo:hi], elements[lo:hi], self.chunk_size)
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        if self.backend == "process" and self.workers > 1:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(processes=self.workers) as pool:
+                results = pool.map(_shard_worker, payloads)
+        else:
+            # Same pipeline, in-process: state still round-trips through
+            # the wire format so both backends exercise one code path.
+            results = [_shard_worker(p) for p in payloads]
+        results.sort(key=lambda r: r[0])
+
+        merge_start = time.perf_counter()
+        merged = None
+        timings = []
+        chunks = 0
+        for index, tokens, shard_chunks, seconds, blob in results:
+            shard_algo = loads_state(factory(), blob)
+            timings.append(ShardTiming(index, tokens, seconds))
+            chunks += shard_chunks
+            if merged is None:
+                merged = shard_algo
+            else:
+                merged.merge(shard_algo)
+        merge_seconds = time.perf_counter() - merge_start
+
+        report = ShardedRunReport(
+            tokens=total,
+            chunks=chunks,
+            seconds=time.perf_counter() - start,
+            path="sharded",
+            chunk_size=self.chunk_size,
+            workers=self.workers,
+            merge_seconds=merge_seconds,
+            shards=tuple(timings),
+        )
+        return merged, report

@@ -25,9 +25,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.sketch.countsketch import F2HeavyHitter
-from repro.sketch.hashing import SampledSet, SampledSetBank
+from repro.sketch.hashing import SampledSet, SampledSetBank, same_sampled_set
 
 __all__ = ["ContributingCoordinate", "F2Contributing"]
 
@@ -150,6 +155,38 @@ class F2Contributing(StreamingAlgorithm):
         return sorted(
             best.values(), key=lambda c: c.frequency, reverse=True
         )
+
+    def _require_mergeable(self, other: "F2Contributing") -> None:
+        if (
+            other.gamma != self.gamma
+            or other.max_class_size != self.max_class_size
+            or other.num_levels != self.num_levels
+            or any(
+                not same_sampled_set(mine, theirs)
+                for mine, theirs in zip(self._samplers, other._samplers)
+            )
+        ):
+            raise MergeIncompatibleError(
+                "can only merge F2Contributing instances with identical "
+                "seed, gamma, and class-size cap"
+            )
+
+    def _merge(self, other: "F2Contributing") -> None:
+        # Same level samplers => each level's heavy-hitter sketches saw
+        # the same substream partition; merging them per level is the
+        # whole merge (the samplers themselves are stateless hashes).
+        for mine, theirs in zip(self._sketches, other._sketches):
+            mine.merge(theirs)
+
+    def _state_arrays(self) -> dict:
+        state: dict = {}
+        for level, sketch in enumerate(self._sketches):
+            pack_state(state, f"levels/{level}", sketch.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        for level, sketch in enumerate(self._sketches):
+            sketch.load_state_arrays(unpack_state(state, f"levels/{level}"))
 
     def space_words(self) -> int:
         total = 0

@@ -20,7 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import (
+    MergeIncompatibleError,
+    StreamingAlgorithm,
+    pack_state,
+    unpack_state,
+)
 from repro.sketch.hashing import KWiseHash, KWiseHashBank, SignHash
 
 __all__ = ["CountSketch", "F2HeavyHitter"]
@@ -121,27 +126,27 @@ class CountSketch(StreamingAlgorithm):
         squares = self._table.astype(np.float64) ** 2
         return float(np.median(squares.sum(axis=1)))
 
-    def merge(self, other: "CountSketch") -> "CountSketch":
-        """Absorb another sketch built with the same seed and shape.
-
-        CountSketch tables are linear in the stream: adding sharded
-        tables reproduces the single-stream sketch exactly.
-        """
-        if not isinstance(other, CountSketch):
-            raise TypeError(
-                f"cannot merge CountSketch with {type(other).__name__}"
-            )
+    def _require_mergeable(self, other: "CountSketch") -> None:
         if (
             other.width != self.width
             or other.depth != self.depth
             or other.seed != self.seed
         ):
-            raise ValueError(
+            raise MergeIncompatibleError(
                 "can only merge CountSketch tables with identical seed "
                 "and shape"
             )
+
+    def _merge(self, other: "CountSketch") -> None:
+        # CountSketch tables are linear in the stream: adding sharded
+        # tables reproduces the single-stream sketch exactly.
         self._table += other._table
-        return self
+
+    def _state_arrays(self) -> dict:
+        return {"table": self._table}
+
+    def _load_state_arrays(self, state: dict) -> None:
+        self._table = np.asarray(state["table"], dtype=np.int64).copy()
 
     def space_words(self) -> int:
         hashes = sum(h.space_words() for h in self._bucket_hashes)
@@ -310,29 +315,64 @@ class F2HeavyHitter(StreamingAlgorithm):
                 result[item] = estimate
         return result
 
-    def merge(self, other: "F2HeavyHitter") -> "F2HeavyHitter":
-        """Absorb another heavy-hitter instance (same seed and phi).
-
-        The underlying CountSketch merges exactly; candidate counts add
-        (they are exact per-shard arrival counts), then the pool is
-        re-pruned to capacity.
-        """
-        if not isinstance(other, F2HeavyHitter):
-            raise TypeError(
-                f"cannot merge F2HeavyHitter with {type(other).__name__}"
-            )
-        if other.phi != self.phi or other.seed != self.seed:
-            raise ValueError(
+    def _require_mergeable(self, other: "F2HeavyHitter") -> None:
+        if (
+            other.phi != self.phi
+            or other.seed != self.seed
+            or other.slack != self.slack
+        ):
+            raise MergeIncompatibleError(
                 "can only merge heavy-hitter sketches with identical "
-                "seed and phi"
+                "seed, phi, and slack"
             )
+
+    def _merge(self, other: "F2HeavyHitter") -> None:
+        """Deterministic pool reconciliation on the combined token schedule.
+
+        The CountSketch merges exactly (linear).  Candidate counts are
+        exact per-shard arrival counts on insertion-only streams, so
+        summing them -- ``self``'s pool first, then ``other``'s new
+        items in their arrival order -- reproduces the single pass's
+        exact counts *and* its first-arrival insertion order, provided
+        shards merge in stream order.  The combined pool has passed
+        ``pool_tokens // prune_period`` scheduled prunes; pruning is a
+        no-op on a pool at or below capacity, so one prune at the merged
+        token offset restores the schedule's invariant deterministically
+        (shard count never changes the answer).  Whenever no scheduled
+        prune ever evicts -- the regime the ``O~(1/phi)`` capacity is
+        sized for -- the merged pool is bit-identical to the single
+        pass's.
+        """
         self._sketch.merge(other._sketch)
         for item, count in other._candidates.items():
             self._candidates[item] = self._candidates.get(item, 0) + count
         self._pool_tokens += other._pool_tokens
-        if len(self._candidates) > 2 * self.capacity:
-            self._prune()
-        return self
+        self._prune()
+
+    def _state_arrays(self) -> dict:
+        state = {
+            # Keys in dict order: the pool's first-arrival insertion
+            # order is part of the state (prune ties break by it).
+            "pool_items": np.asarray(
+                list(self._candidates.keys()), dtype=np.int64
+            ),
+            "pool_counts": np.asarray(
+                list(self._candidates.values()), dtype=np.int64
+            ),
+            "pool_tokens": np.asarray(self._pool_tokens, dtype=np.int64),
+        }
+        pack_state(state, "sketch", self._sketch.state_arrays())
+        return state
+
+    def _load_state_arrays(self, state: dict) -> None:
+        self._candidates = {
+            int(item): int(count)
+            for item, count in zip(
+                state["pool_items"], state["pool_counts"]
+            )
+        }
+        self._pool_tokens = int(state["pool_tokens"])
+        self._sketch.load_state_arrays(unpack_state(state, "sketch"))
 
     def space_words(self) -> int:
         return self._sketch.space_words() + 2 * self.capacity + 2

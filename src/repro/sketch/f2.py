@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import MergeIncompatibleError, StreamingAlgorithm
 from repro.sketch.hashing import SignHash
 
 __all__ = ["F2Sketch"]
@@ -70,24 +70,28 @@ class F2Sketch(StreamingAlgorithm):
         groups = squares.reshape(self.medians, self.means)
         return float(np.median(groups.mean(axis=1)))
 
-    def merge(self, other: "F2Sketch") -> "F2Sketch":
-        """Absorb another sketch built with the same seed and shape.
-
-        AMS counters are linear in the stream, so sharded counters add:
-        the merged estimate equals a single-stream run exactly.
-        """
-        if not isinstance(other, F2Sketch):
-            raise TypeError(f"cannot merge F2Sketch with {type(other).__name__}")
+    def _require_mergeable(self, other: "F2Sketch") -> None:
         if (
             other.means != self.means
             or other.medians != self.medians
             or other.seed != self.seed
         ):
-            raise ValueError(
+            raise MergeIncompatibleError(
                 "can only merge F2 sketches with identical seed and shape"
             )
+
+    def _merge(self, other: "F2Sketch") -> None:
+        # AMS counters are linear in the stream, so sharded counters
+        # add: the merged estimate equals a single-stream run exactly.
         self._counters += other._counters
-        return self
+
+    def _state_arrays(self) -> dict:
+        return {"counters": self._counters}
+
+    def _load_state_arrays(self, state: dict) -> None:
+        self._counters = np.asarray(
+            state["counters"], dtype=np.int64
+        ).copy()
 
     def space_words(self) -> int:
         return len(self._counters) + sum(

@@ -41,6 +41,8 @@ __all__ = [
     "SampledSet",
     "SampledSetBank",
     "default_degree",
+    "same_hash",
+    "same_sampled_set",
 ]
 
 #: Mersenne prime 2^31 - 1; the field over which hash polynomials live.
@@ -60,6 +62,26 @@ def default_degree(m: int, n: int) -> int:
         raise ValueError(f"m and n must be positive, got m={m}, n={n}")
     bits = math.ceil(math.log2(max(4, m)) + math.log2(max(4, n)))
     return int(min(64, max(4, bits + 1)))
+
+
+def same_hash(a: "KWiseHash", b: "KWiseHash") -> bool:
+    """Whether two hash functions are the *same* function.
+
+    Merge validation uses this rather than comparing seeds: samplers and
+    composite algorithms draw hash coefficients through intermediate
+    generators, so coefficient equality is the ground truth for "these
+    two instances partition the world identically".
+    """
+    return (
+        a.range_size == b.range_size
+        and a.degree == b.degree
+        and np.array_equal(a._coeffs, b._coeffs)
+    )
+
+
+def same_sampled_set(a: "SampledSet", b: "SampledSet") -> bool:
+    """Whether two :class:`SampledSet` instances sample identically."""
+    return a.buckets == b.buckets and same_hash(a._hash, b._hash)
 
 
 class KWiseHash:

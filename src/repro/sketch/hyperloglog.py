@@ -24,7 +24,7 @@ import math
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import MergeIncompatibleError, StreamingAlgorithm
 from repro.sketch.hashing import MERSENNE_P, KWiseHash
 
 __all__ = ["HyperLogLog"]
@@ -114,19 +114,24 @@ class HyperLogLog(StreamingAlgorithm):
             return self.num_registers * math.log(self.num_registers / zeros)
         return raw
 
-    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
-        """Register-wise max; exact union semantics for same-seed sketches."""
-        if not isinstance(other, HyperLogLog):
-            raise TypeError(
-                f"cannot merge HyperLogLog with {type(other).__name__}"
-            )
+    def _require_mergeable(self, other: "HyperLogLog") -> None:
         if other.precision != self.precision or other.seed != self.seed:
-            raise ValueError(
+            raise MergeIncompatibleError(
                 "can only merge HyperLogLog sketches with identical seed "
                 "and precision"
             )
+
+    def _merge(self, other: "HyperLogLog") -> None:
+        # Register-wise max; exact union semantics for same-seed sketches.
         np.maximum(self._registers, other._registers, out=self._registers)
-        return self
+
+    def _state_arrays(self) -> dict:
+        return {"registers": self._registers}
+
+    def _load_state_arrays(self, state: dict) -> None:
+        self._registers = np.asarray(
+            state["registers"], dtype=np.int8
+        ).copy()
 
     def space_words(self) -> int:
         packed = math.ceil(self.num_registers * 5 / 64)

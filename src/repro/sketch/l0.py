@@ -21,7 +21,7 @@ import heapq
 
 import numpy as np
 
-from repro.base import StreamingAlgorithm
+from repro.base import MergeIncompatibleError, StreamingAlgorithm
 from repro.sketch.hashing import MERSENNE_P, KWiseHash
 
 __all__ = ["L0Sketch"]
@@ -100,27 +100,36 @@ class L0Sketch(StreamingAlgorithm):
         v_k = (-self._heap[0]) / MERSENNE_P
         return (self.sketch_size - 1) / v_k
 
-    def merge(self, other: "L0Sketch") -> "L0Sketch":
-        """Absorb another sketch built with the same seed and size.
-
-        KMV synopses are mergeable: the union's ``k`` smallest hash
-        values equal the ``k`` smallest of the two synopses' union --
-        so merged estimates match a single-stream run exactly.  This is
-        what makes the paper's algorithms distributable across stream
-        shards.
-        """
-        if not isinstance(other, L0Sketch):
-            raise TypeError(f"cannot merge L0Sketch with {type(other).__name__}")
+    def _require_mergeable(self, other: "L0Sketch") -> None:
         if other.sketch_size != self.sketch_size or other.seed != self.seed:
-            raise ValueError(
+            raise MergeIncompatibleError(
                 "can only merge L0 sketches with identical seed and size"
             )
+
+    def _merge(self, other: "L0Sketch") -> None:
+        # KMV synopses are mergeable: the union's ``k`` smallest hash
+        # values equal the ``k`` smallest of the two synopses' union --
+        # so merged estimates match a single-stream run exactly.  This
+        # is what makes the paper's algorithms distributable across
+        # stream shards.
         merged = self._members | other._members
         smallest = heapq.nsmallest(self.sketch_size, merged)
         self._members = set(smallest)
         self._heap = [-hv for hv in smallest]
         heapq.heapify(self._heap)
-        return self
+
+    def _state_arrays(self) -> dict:
+        return {
+            "heap": np.asarray(
+                sorted(-v for v in self._heap), dtype=np.int64
+            )
+        }
+
+    def _load_state_arrays(self, state: dict) -> None:
+        values = [int(v) for v in state["heap"]]
+        self._members = set(values)
+        self._heap = [-v for v in values]
+        heapq.heapify(self._heap)
 
     def space_words(self) -> int:
         return len(self._heap) + self._hash.space_words() + 1

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import heapq
 
-from repro.base import StreamingAlgorithm
-from repro.sketch.hashing import MERSENNE_P, KWiseHash
+import numpy as np
+
+from repro.base import MergeIncompatibleError, StreamingAlgorithm
+from repro.sketch.hashing import MERSENNE_P, KWiseHash, same_hash
 
 __all__ = ["L0Sampler"]
 
@@ -77,6 +79,38 @@ class L0Sampler(StreamingAlgorithm):
             return float(len(self._heap))
         v_k = (-self._heap[0][0]) / MERSENNE_P
         return (self.samples - 1) / v_k
+
+    def _require_mergeable(self, other: "L0Sampler") -> None:
+        if other.samples != self.samples or not same_hash(
+            self._hash, other._hash
+        ):
+            raise MergeIncompatibleError(
+                "can only merge L0 samplers with identical seed and "
+                "sample count"
+            )
+
+    def _merge(self, other: "L0Sampler") -> None:
+        # Same hash => the same item carries the same hash value in both
+        # synopses, so keeping the ``k`` smallest distinct (hash, item)
+        # pairs of the union reproduces the single-pass sample exactly.
+        entries = {(-neg, item) for neg, item in self._heap}
+        entries |= {(-neg, item) for neg, item in other._heap}
+        smallest = sorted(entries)[: self.samples]
+        self._heap = [(-hv, item) for hv, item in smallest]
+        heapq.heapify(self._heap)
+        self._members = {hv for hv, _item in smallest}
+
+    def _state_arrays(self) -> dict:
+        rows = sorted((-neg, item) for neg, item in self._heap)
+        return {"synopsis": np.asarray(rows, dtype=np.int64).reshape(-1, 2)}
+
+    def _load_state_arrays(self, state: dict) -> None:
+        rows = [
+            (int(hv), int(item)) for hv, item in state["synopsis"]
+        ]
+        self._heap = [(-hv, item) for hv, item in rows]
+        heapq.heapify(self._heap)
+        self._members = {hv for hv, _item in rows}
 
     def space_words(self) -> int:
         return 2 * len(self._heap) + self._hash.space_words() + 1

@@ -10,9 +10,20 @@ untrusted-ish storage (only numeric arrays are read).
 Round-trip contract: ``load_sketch(path)`` returns a sketch whose
 estimates, queries, and merge behaviour are identical to the saved one;
 the restored sketch can continue its pass.
+
+Composite algorithms (``Oracle``, ``EstimateMaxCover``, ...) are covered
+by the generic ``state_arrays`` protocol instead: :func:`save_state` /
+:func:`load_state` ship only flat numeric arrays (hierarchical ``a/b/c``
+keys), and the loader pours them into a *fresh, identically-constructed*
+instance -- constructor parameters and seeds travel out of band, exactly
+as a sharded coordinator reconstructs its workers.  :func:`dumps_state` /
+:func:`loads_state` are the in-memory variants the multiprocessing
+executor ships worker state with.
 """
 
 from __future__ import annotations
+
+import io
 
 import numpy as np
 
@@ -21,7 +32,14 @@ from repro.sketch.f2 import F2Sketch
 from repro.sketch.hyperloglog import HyperLogLog
 from repro.sketch.l0 import L0Sketch
 
-__all__ = ["save_sketch", "load_sketch"]
+__all__ = [
+    "save_sketch",
+    "load_sketch",
+    "save_state",
+    "load_state",
+    "dumps_state",
+    "loads_state",
+]
 
 
 def _l0_state(sketch: L0Sketch) -> dict:
@@ -156,3 +174,48 @@ def load_sketch(path):
         if loader is None:
             raise ValueError(f"unknown sketch kind {kind!r} in {path}")
         return loader(data)
+
+
+def save_state(algo, path) -> None:
+    """Persist any ``state_arrays``-capable algorithm to an ``.npz`` file.
+
+    Works for every :class:`~repro.base.StreamingAlgorithm` implementing
+    the state protocol, composites included.  The class name is stored
+    so :func:`load_state` can refuse a mismatched target.
+    """
+    state = algo.state_arrays()
+    np.savez(
+        path,
+        __class__=np.bytes_(type(algo).__name__.encode()),
+        **state,
+    )
+
+
+def load_state(algo, path):
+    """Pour a :func:`save_state` checkpoint into ``algo``.
+
+    ``algo`` must be a fresh instance constructed with the *same*
+    parameters and seed as the saved one (the checkpoint holds state
+    arrays only, not construction randomness).  Returns ``algo``.
+    """
+    with np.load(path) as data:
+        saved = bytes(data["__class__"]).decode()
+        if saved != type(algo).__name__:
+            raise TypeError(
+                f"checkpoint holds {saved} state, cannot load into "
+                f"{type(algo).__name__}"
+            )
+        state = {key: data[key] for key in data.files if key != "__class__"}
+    return algo.load_state_arrays(state)
+
+
+def dumps_state(algo) -> bytes:
+    """In-memory :func:`save_state`; the shard-shipping wire format."""
+    buffer = io.BytesIO()
+    save_state(algo, buffer)
+    return buffer.getvalue()
+
+
+def loads_state(algo, blob: bytes):
+    """In-memory :func:`load_state`; returns ``algo``."""
+    return load_state(algo, io.BytesIO(blob))

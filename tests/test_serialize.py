@@ -2,14 +2,28 @@
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 import pytest
 
+from repro.core.estimate import EstimateMaxCover
+from repro.core.large_set import LargeSet
+from repro.core.oracle import Oracle
+from repro.core.parameters import Parameters
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.f2 import F2Sketch
 from repro.sketch.hyperloglog import HyperLogLog
 from repro.sketch.l0 import L0Sketch
-from repro.sketch.serialize import load_sketch, save_sketch
+from repro.sketch.serialize import (
+    dumps_state,
+    load_sketch,
+    load_state,
+    loads_state,
+    save_sketch,
+    save_state,
+)
+from repro.streams.edge_stream import EdgeStream
 
 
 class TestRoundTrip:
@@ -89,3 +103,101 @@ class TestErrors:
         np.savez(path, kind=np.bytes_(b"martian"), data=np.arange(3))
         with pytest.raises(ValueError, match="unknown sketch kind"):
             load_sketch(path)
+
+
+def _composite_cases(planted_workload):
+    """``(name, factory)`` for the composite state-protocol round trips.
+
+    Each factory fixes every constructor argument (seeds included), the
+    precondition of :func:`load_state`.
+    """
+    system = planted_workload.system
+    params = Parameters.practical(m=system.m, n=system.n, k=6, alpha=3.0)
+    return [
+        ("oracle", partial(Oracle, params, seed=21)),
+        ("large_set", partial(LargeSet, params, w=3, seed=21)),
+        (
+            "estimate_max_cover",
+            partial(
+                EstimateMaxCover,
+                m=system.m,
+                n=system.n,
+                k=6,
+                alpha=3.0,
+                seed=21,
+            ),
+        ),
+    ]
+
+
+class TestCompositeState:
+    """The generic ``save_state``/``load_state`` protocol on composites."""
+
+    def _halves(self, planted_workload):
+        edges = EdgeStream.from_system(
+            planted_workload.system, order="random", seed=17
+        ).edges
+        mid = len(edges) // 2
+        return edges[:mid], edges[mid:]
+
+    @staticmethod
+    def _feed(algo, edges):
+        for set_id, element in edges:
+            algo.process(set_id, element)
+        return algo
+
+    def test_file_round_trip_preserves_state(
+        self, tmp_path, planted_workload
+    ):
+        first, _second = self._halves(planted_workload)
+        for name, factory in _composite_cases(planted_workload):
+            algo = self._feed(factory(), first)
+            path = tmp_path / f"{name}.npz"
+            save_state(algo, path)
+            restored = load_state(factory(), path)
+            assert restored.tokens_seen == algo.tokens_seen
+            before = algo.state_arrays()
+            after = restored.state_arrays()
+            assert list(before) == list(after)
+            for key in before:
+                assert np.array_equal(before[key], after[key]), (name, key)
+
+    def test_restored_composites_merge_like_in_process(
+        self, planted_workload
+    ):
+        """serialise -> deserialise -> merge == in-process merge, for
+        every composite -- the coordinator's actual code path."""
+        first, second = self._halves(planted_workload)
+        for name, factory in _composite_cases(planted_workload):
+            a = self._feed(factory(), first)
+            b = self._feed(factory(), second)
+            shipped = loads_state(factory(), dumps_state(a)).merge(
+                loads_state(factory(), dumps_state(b))
+            )
+            in_process = a.merge(b)
+            assert shipped.tokens_seen == in_process.tokens_seen
+            before = in_process.state_arrays()
+            after = shipped.state_arrays()
+            assert list(before) == list(after), name
+            for key in before:
+                assert np.array_equal(before[key], after[key]), (name, key)
+
+    def test_restored_composite_continues_identically(
+        self, planted_workload
+    ):
+        first, second = self._halves(planted_workload)
+        _name, factory = _composite_cases(planted_workload)[2]
+        uninterrupted = self._feed(factory(), first + second)
+        resumed = loads_state(
+            factory(), dumps_state(self._feed(factory(), first))
+        )
+        self._feed(resumed, second)
+        assert resumed.estimate() == uninterrupted.estimate()
+        assert resumed.tokens_seen == len(first) + len(second)
+
+    def test_load_state_rejects_wrong_class(self, tmp_path):
+        sketch = L0Sketch(sketch_size=8, seed=1)
+        path = tmp_path / "l0_state.npz"
+        save_state(sketch, path)
+        with pytest.raises(TypeError, match="cannot load into"):
+            load_state(HyperLogLog(precision=8, seed=1), path)

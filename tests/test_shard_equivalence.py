@@ -1,0 +1,175 @@
+"""Shard-equivalence suite: sharded runs are bit-identical to one pass.
+
+The tentpole guarantee of the sharded executor: partitioning the edge
+stream into contiguous shards, running an identically-seeded copy per
+shard, shipping state through the wire format, and merging in shard
+order reproduces the single-pass answer *exactly* -- for every shard
+count, for pathologically uneven splits, and under every adversarial
+arrival order, on both the scalar and the batched reference paths.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro import (
+    EdgeStream,
+    EstimateMaxCover,
+    MaxCoverReporter,
+    ShardedStreamRunner,
+    StreamRunner,
+)
+from repro.streams.adversary import (
+    duplicate_flood,
+    fragmented,
+    noise_first,
+    signal_first,
+)
+
+M, N, K, ALPHA = 150, 300, 6, 3.0
+SHARD_COUNTS = (1, 2, 3, 7)
+
+ESTIMATOR = partial(EstimateMaxCover, m=M, n=N, k=K, alpha=ALPHA, seed=7)
+REPORTER = partial(MaxCoverReporter, m=M, n=N, k=K, alpha=ALPHA, seed=13)
+
+ADVERSARIES = {
+    "noise_first": noise_first,
+    "signal_first": signal_first,
+    "duplicate_flood": duplicate_flood,
+    "fragmented": lambda workload, seed=0: fragmented(workload),
+}
+
+
+@pytest.fixture(scope="module")
+def adversarial_streams(planted_workload) -> dict[str, EdgeStream]:
+    streams = {
+        name: make(planted_workload, seed=3)
+        for name, make in ADVERSARIES.items()
+    }
+    streams["random"] = EdgeStream.from_system(
+        planted_workload.system, order="random", seed=7
+    )
+    return streams
+
+
+@pytest.fixture(scope="module")
+def scalar_estimates(adversarial_streams) -> dict[str, float]:
+    """Single-pass scalar-path reference estimate per arrival order."""
+    reference = {}
+    for name, stream in adversarial_streams.items():
+        algo = ESTIMATOR()
+        StreamRunner(path="scalar").run(algo, stream)
+        reference[name] = algo.estimate()
+    return reference
+
+
+class TestEstimatorEquivalence:
+    @pytest.mark.parametrize("order", sorted(ADVERSARIES) + ["random"])
+    @pytest.mark.parametrize("workers", SHARD_COUNTS)
+    def test_sharded_matches_scalar_single_pass(
+        self, adversarial_streams, scalar_estimates, order, workers
+    ):
+        stream = adversarial_streams[order]
+        runner = ShardedStreamRunner(
+            workers=workers, chunk_size=256, backend="serial"
+        )
+        merged, report = runner.run(ESTIMATOR, stream)
+        assert merged.estimate() == scalar_estimates[order]
+        assert merged.tokens_seen == len(stream)
+        assert report.tokens == len(stream)
+        assert report.workers == workers
+
+    def test_sharded_matches_batched_single_pass(self, adversarial_streams):
+        """The vectorized single-pass path agrees too (chunking is not
+        the mechanism sharding relies on)."""
+        stream = adversarial_streams["random"]
+        batched = ESTIMATOR()
+        StreamRunner(chunk_size=512).run(batched, stream)
+        merged, _report = ShardedStreamRunner(
+            workers=3, chunk_size=512, backend="serial"
+        ).run(ESTIMATOR, stream)
+        assert merged.estimate() == batched.estimate()
+
+    @pytest.mark.parametrize(
+        "boundaries",
+        [[1], [5], [17]],
+        ids=["one-edge-head", "tiny-head", "prime-cut"],
+    )
+    def test_uneven_splits(
+        self, adversarial_streams, scalar_estimates, boundaries
+    ):
+        """Shard sizes carry no information: cutting one edge off the
+        head must not change the merged answer."""
+        stream = adversarial_streams["random"]
+        merged, _report = ShardedStreamRunner(
+            workers=2, chunk_size=256, backend="serial"
+        ).run(ESTIMATOR, stream, boundaries=boundaries)
+        assert merged.estimate() == scalar_estimates["random"]
+
+    def test_empty_tail_shard(self, adversarial_streams, scalar_estimates):
+        """A shard may legally receive zero edges (workers > tokens in
+        the extreme); empty shards merge as identities."""
+        stream = adversarial_streams["random"]
+        total = len(stream)
+        merged, report = ShardedStreamRunner(
+            workers=3, chunk_size=256, backend="serial"
+        ).run(ESTIMATOR, stream, boundaries=[total, total])
+        assert merged.estimate() == scalar_estimates["random"]
+        assert report.shards[1].tokens == 0
+        assert report.shards[2].tokens == 0
+
+    def test_process_backend_matches(
+        self, adversarial_streams, scalar_estimates
+    ):
+        """The multiprocessing pool path returns the same bits as the
+        serial harness (one shard count, to keep CI fast)."""
+        stream = adversarial_streams["random"]
+        merged, report = ShardedStreamRunner(
+            workers=2, chunk_size=256, backend="process"
+        ).run(ESTIMATOR, stream)
+        assert merged.estimate() == scalar_estimates["random"]
+        assert len(report.shards) == 2
+
+
+class TestReporterEquivalence:
+    @pytest.mark.parametrize("order", ["random", "noise_first", "fragmented"])
+    def test_sharded_solution_identical(self, adversarial_streams, order):
+        stream = adversarial_streams[order]
+        single = REPORTER()
+        StreamRunner(path="scalar").run(single, stream)
+        reference = single.solution()
+
+        for workers in (2, 3):
+            merged, _report = ShardedStreamRunner(
+                workers=workers, chunk_size=256, backend="serial"
+            ).run(REPORTER, stream)
+            assert merged.solution() == reference
+
+
+class TestReportShape:
+    def test_per_shard_timings_cover_the_stream(self, adversarial_streams):
+        stream = adversarial_streams["random"]
+        _merged, report = ShardedStreamRunner(
+            workers=3, chunk_size=256, backend="serial"
+        ).run(ESTIMATOR, stream)
+        assert [t.shard for t in report.shards] == [0, 1, 2]
+        assert sum(t.tokens for t in report.shards) == len(stream)
+        assert report.path == "sharded"
+        assert report.tokens_per_sec > 0
+        assert report.merge_seconds >= 0.0
+
+    def test_bad_boundaries_rejected(self, adversarial_streams):
+        stream = adversarial_streams["random"]
+        runner = ShardedStreamRunner(workers=2, backend="serial")
+        with pytest.raises(ValueError, match="boundaries"):
+            runner.run(ESTIMATOR, stream, boundaries=[3, 5])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedStreamRunner(workers=0)
+        with pytest.raises(ValueError):
+            ShardedStreamRunner(chunk_size=0)
+        with pytest.raises(ValueError):
+            ShardedStreamRunner(backend="threads")
