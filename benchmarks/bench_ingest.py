@@ -1,0 +1,218 @@
+"""Experiment E17 -- the ingest data plane: binary format, O(1) dispatch.
+
+Not a paper claim but the engineering premise of running the paper's
+sublinear-space algorithms at production scale: sketching only pays off
+when delivering the edges is not itself the bottleneck.  This bench
+measures the two halves of the columnar pipeline:
+
+* **load**: parsing the text format vs reading the columnar ``.npz``
+  binary vs memory-mapping it in place.  The binary path must win by at
+  least 5x (it wins by orders of magnitude);
+* **dispatch**: bytes shipped per sharded run on the pickled path
+  (O(stream)) vs the shared-memory / mmap descriptors (O(workers)),
+  plus realised sharded throughput on both, which must agree
+  bit-for-bit.
+
+Besides the human-readable tables, the results land in two
+machine-readable baselines at the repo root -- ``BENCH_ingest.json`` and
+``BENCH_throughput.json`` -- so future PRs have a perf trajectory to
+regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from functools import partial
+
+import pytest
+
+from repro import EdgeStream, ShardedStreamRunner, StreamRunner
+from repro.bench import ResultTable
+from repro.core.estimate import EstimateMaxCover
+
+# Load timings use a large stream (pure I/O, cheap to produce); the
+# dispatch timings run full estimate passes, so they use a smaller one.
+N, M, K, ALPHA = 20000, 2000, 25, 4.0
+DN, DM, DK = 4000, 400, 10
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _make_stream(n: int, m: int, k: int) -> EdgeStream:
+    from repro.streams.generators import planted_cover
+
+    workload = planted_cover(n=n, m=m, k=k, coverage_frac=0.9, seed=99)
+    return EdgeStream.from_system(workload.system, order="random", seed=2)
+
+
+@pytest.fixture(scope="module")
+def stream() -> EdgeStream:
+    return _make_stream(N, M, K)
+
+
+@pytest.fixture(scope="module")
+def dispatch_stream() -> EdgeStream:
+    return _make_stream(DN, DM, DK)
+
+
+def _best_of(repeats: int, fn):
+    """Best-of-``repeats`` wall clock (load benches are I/O-noisy)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _save_json(name: str, payload: dict) -> None:
+    path = REPO_ROOT / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[baseline saved to {path}]")
+
+
+def test_ingest_load_table(stream, tmp_path, save_table):
+    """Text vs binary vs mmap load; binary must be >= 5x faster."""
+    edges = len(stream)
+    text_path = tmp_path / "stream.txt"
+    binary_path = tmp_path / "stream.npz"
+
+    text_save, _ = _best_of(2, lambda: stream.save(text_path))
+    binary_save, _ = _best_of(2, lambda: stream.save_binary(binary_path))
+    text_load, text_stream = _best_of(3, lambda: EdgeStream.load(text_path))
+    binary_load, binary_stream = _best_of(
+        3, lambda: EdgeStream.load_binary(binary_path)
+    )
+    mmap_load, mmap_stream = _best_of(
+        3, lambda: EdgeStream.load_binary(binary_path, mmap=True)
+    )
+
+    # All three load paths reproduce the same stream bit-for-bit.
+    assert binary_stream.edges == text_stream.edges == mmap_stream.edges
+
+    table = ResultTable(
+        ["path", "save (s)", "load (s)", "load tokens/sec"],
+        title=f"E17: ingest on {edges} edges (m={M}, n={N})",
+    )
+    rows = {
+        "text": (text_save, text_load),
+        "binary": (binary_save, binary_load),
+        "binary+mmap": (binary_save, mmap_load),
+    }
+    for name, (save_s, load_s) in rows.items():
+        table.add_row(
+            name,
+            round(save_s, 4),
+            round(load_s, 4),
+            int(edges / max(load_s, 1e-9)),
+        )
+    table.add_row(
+        "binary speedup", "", round(text_load / binary_load, 1), ""
+    )
+    save_table("ingest", table)
+
+    _save_json(
+        "BENCH_ingest.json",
+        {
+            "edges": edges,
+            "instance": {"m": M, "n": N, "k": K},
+            "load_seconds": {
+                name: round(load_s, 6)
+                for name, (_s, load_s) in rows.items()
+            },
+            "load_tokens_per_sec": {
+                name: int(edges / max(load_s, 1e-9))
+                for name, (_s, load_s) in rows.items()
+            },
+            "save_seconds": {
+                name: round(save_s, 6)
+                for name, (save_s, _l) in rows.items()
+            },
+            "binary_speedup_over_text": round(text_load / binary_load, 1),
+            "mmap_speedup_over_text": round(text_load / mmap_load, 1),
+        },
+    )
+
+    assert binary_load * 5 <= text_load
+    assert mmap_load * 5 <= text_load
+
+
+def test_dispatch_table(dispatch_stream, tmp_path, save_table):
+    """Dispatch payloads: pickle is O(stream), shm/mmap are O(workers);
+    every path ships the same answer and the shared-memory path's bytes
+    do not grow with the stream."""
+    stream = dispatch_stream
+    binary_path = tmp_path / "stream.npz"
+    stream.save_binary(binary_path)
+    mapped = EdgeStream.load_binary(binary_path, mmap=True)
+    half = EdgeStream.from_columns(
+        *(col[: len(stream) // 2] for col in stream.as_arrays()),
+        m=stream.m,
+        n=stream.n,
+    )
+    factory = partial(EstimateMaxCover, m=DM, n=DN, k=DK, alpha=ALPHA, seed=7)
+
+    single = factory()
+    single_report = StreamRunner(chunk_size=4096).run(single, stream)
+    reference = single.estimate()
+
+    table = ResultTable(
+        ["dispatch", "stream", "payload bytes", "tokens/sec", "estimate"],
+        title=f"E17b: shard dispatch at 2 workers ({len(stream)} edges, "
+        f"m={DM}, n={DN})",
+    )
+    baselines: dict = {
+        "edges": len(stream),
+        "instance": {"m": DM, "n": DN, "k": DK},
+        "workers": 2,
+        "cpu_count": os.cpu_count(),
+        "single_pass_tokens_per_sec": int(single_report.tokens_per_sec),
+        "dispatch_bytes": {},
+        "sharded_tokens_per_sec": {},
+    }
+
+    cases = [
+        ("pickle", stream, "full"),
+        ("pickle", half, "half"),
+        ("shared_memory", stream, "full"),
+        ("shared_memory", half, "half"),
+        ("mmap", mapped, "full"),
+    ]
+    measured: dict = {}
+    for dispatch, target, label in cases:
+        runner = ShardedStreamRunner(
+            workers=2, chunk_size=4096, backend="process", dispatch=dispatch
+        )
+        merged, report = runner.run(factory, target)
+        value = merged.estimate()
+        if label == "full":
+            assert value == reference, dispatch
+            baselines["dispatch_bytes"][dispatch] = report.dispatch_bytes
+            baselines["sharded_tokens_per_sec"][dispatch] = int(
+                report.tokens_per_sec
+            )
+        measured[(dispatch, label)] = report.dispatch_bytes
+        table.add_row(
+            dispatch,
+            label,
+            report.dispatch_bytes,
+            int(report.tokens_per_sec),
+            round(value, 1),
+        )
+    save_table("ingest_dispatch", table)
+    _save_json("BENCH_throughput.json", baselines)
+
+    # Pickle payload scales with the stream; descriptors do not.
+    assert measured[("pickle", "full")] > 1.8 * measured[("pickle", "half")]
+    assert (
+        abs(
+            measured[("shared_memory", "full")]
+            - measured[("shared_memory", "half")]
+        )
+        <= 8
+    )
+    assert measured[("shared_memory", "full")] < 1024
+    assert measured[("mmap", "full")] < 1024

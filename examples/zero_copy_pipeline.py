@@ -1,0 +1,86 @@
+"""Zero-copy ingest: binary streams, mmap loading, O(1) shard dispatch.
+
+The end-to-end production data plane: synthesise a workload, write it
+once as the columnar binary format, memory-map it back (load is O(1) --
+no parsing, pages fault in on demand), and run a sharded estimate where
+each worker receives a ~100-byte shard descriptor instead of a pickled
+copy of its slice of the stream.  The answer is bit-identical to the
+single-pass run over the text file -- the format and the dispatch path
+change *how bytes move*, never the numbers.
+
+Run:  python examples/zero_copy_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from functools import partial
+from pathlib import Path
+
+from repro import (
+    EdgeStream,
+    EstimateMaxCover,
+    ShardedStreamRunner,
+    StreamRunner,
+    planted_cover,
+)
+
+
+def main() -> None:
+    n, m, k, alpha = 4000, 400, 10, 4.0
+    workload = planted_cover(n=n, m=m, k=k, coverage_frac=0.9, seed=3)
+    stream = EdgeStream.from_system(workload.system, order="random", seed=5)
+    print(f"instance: m={m}, n={n}; stream of {len(stream)} edges")
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro_ingest_"))
+    text_path = workdir / "stream.txt"
+    binary_path = workdir / "stream.npz"
+
+    # --- one text file, one binary file --------------------------------
+    stream.save(text_path)
+    stream.save_binary(binary_path)
+
+    start = time.perf_counter()
+    EdgeStream.load(text_path)
+    text_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    mapped = EdgeStream.load_binary(binary_path, mmap=True)
+    mmap_seconds = time.perf_counter() - start
+    print(
+        f"load: text parse {text_seconds * 1e3:.1f} ms vs "
+        f"mmap {mmap_seconds * 1e3:.2f} ms "
+        f"({text_seconds / max(mmap_seconds, 1e-9):.0f}x)"
+    )
+
+    # --- reference: single vectorized pass over the text-loaded stream -
+    factory = partial(EstimateMaxCover, m=m, n=n, k=k, alpha=alpha, seed=42)
+    single = factory()
+    StreamRunner(chunk_size=4096).run(single, EdgeStream.load(text_path))
+    reference = single.estimate()
+
+    # --- sharded runs: same bits, three data planes ---------------------
+    for dispatch, target in [
+        ("pickle", stream),
+        ("shared_memory", stream),
+        ("mmap", mapped),
+    ]:
+        runner = ShardedStreamRunner(
+            workers=2, chunk_size=4096, backend="process", dispatch=dispatch
+        )
+        merged, report = runner.run(factory, target)
+        match = "EXACT MATCH" if merged.estimate() == reference else "MISMATCH"
+        print(
+            f"{dispatch:>13} dispatch: estimate {merged.estimate():.1f} "
+            f"({match}), payload {report.dispatch_bytes:,} bytes, "
+            f"{report.tokens_per_sec:,.0f} tokens/sec"
+        )
+    print(
+        "\ndescriptor payloads (shared_memory/mmap) stay constant no "
+        "matter how long the stream grows; the pickled payload is the "
+        "stream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -423,8 +423,9 @@ class StreamRunner:
         """Feed every token of ``stream`` to ``algo``; timing report.
 
         ``stream`` may be any iterable of tuples (edges) or scalars
-        (items); objects exposing ``iter_chunks`` (``EdgeStream``) are
-        sliced into column arrays directly, skipping the buffering.
+        (items); columnar streams (``EdgeStream``) expose ``as_arrays``
+        and are fed as pure slices of their columns -- zero copies, no
+        buffering, no per-edge Python work.
         """
         start = time.perf_counter()
         tokens = 0
@@ -436,6 +437,13 @@ class StreamRunner:
                 else:
                     algo.process(token)
                 tokens += 1
+        elif hasattr(stream, "as_arrays"):
+            set_ids, elements = stream.as_arrays()
+            tokens = len(set_ids)
+            for lo in range(0, tokens, self.chunk_size):
+                hi = lo + self.chunk_size
+                algo.process_batch(set_ids[lo:hi], elements[lo:hi])
+                chunks += 1
         elif hasattr(stream, "iter_chunks"):
             for columns in stream.iter_chunks(self.chunk_size):
                 algo.process_batch(*columns)

@@ -12,7 +12,12 @@ Subcommands
 ``plan``
     Invert the trade-off: pick the best ``alpha`` for a word budget.
 ``generate``
-    Synthesise a workload family and write its stream to a file.
+    Synthesise a workload family and write its stream to a file
+    (text, or the columnar binary format when ``--out`` ends in
+    ``.npz``).
+``convert``
+    Re-encode a stream file between the text and binary formats
+    (direction decided by the output extension).
 ``diagnose``
     Offline structural diagnostics: which oracle subroutine should win,
     the common-element profile, and the contribution profile.
@@ -24,6 +29,8 @@ Examples
 --------
 
     python -m repro generate planted --n 500 --m 250 --k 8 --out edges.txt
+    python -m repro convert edges.txt edges.npz
+    python -m repro estimate edges.npz --k 8 --alpha 4 --mmap --workers 4
     python -m repro estimate edges.txt --k 8 --alpha 4
     python -m repro report edges.txt --k 8 --alpha 4
     python -m repro tradeoff edges.txt --k 8 --alphas 2 4 8 16
@@ -74,7 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p, with_stream=True):
         if with_stream:
-            p.add_argument("stream", help="edge stream file (set element per line)")
+            p.add_argument(
+                "stream",
+                help="edge stream file: text (set element per line) or "
+                "the columnar .npz binary, auto-detected",
+            )
+            p.add_argument(
+                "--mmap",
+                action="store_true",
+                help="memory-map a binary stream instead of loading it "
+                "(O(1) load; enables zero-copy shard dispatch)",
+            )
         p.add_argument("--k", type=int, required=True, help="cover budget")
         p.add_argument("--seed", type=int, default=0, help="random seed")
 
@@ -153,12 +170,28 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--k", type=int, default=8)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--order", default="random")
-    gen.add_argument("--out", required=True, help="output stream file")
+    gen.add_argument(
+        "--out",
+        required=True,
+        help="output stream file (.npz writes the columnar binary)",
+    )
+
+    conv = sub.add_parser(
+        "convert", help="re-encode a stream file (text <-> binary)"
+    )
+    conv.add_argument("src", help="input stream file (format auto-detected)")
+    conv.add_argument(
+        "dst",
+        help="output stream file (.npz writes the columnar binary, "
+        "anything else the text format)",
+    )
     return parser
 
 
 def _load(args) -> EdgeStream:
-    return EdgeStream.load(args.stream)
+    return EdgeStream.load_auto(
+        args.stream, mmap=getattr(args, "mmap", False)
+    )
 
 
 def _runner(args) -> StreamRunner:
@@ -277,10 +310,23 @@ def _cmd_generate(args) -> int:
     stream = EdgeStream.from_system(
         workload.system, order=args.order, seed=args.seed
     )
-    stream.save(args.out)
+    stream.save_auto(args.out)
     print(
         f"wrote {len(stream)} edges (m={stream.m}, n={stream.n}) "
         f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.streams.io import BINARY_SUFFIX, detect_format
+
+    stream = EdgeStream.load_auto(args.src)
+    stream.save_auto(args.dst)
+    dst_format = "binary" if str(args.dst).endswith(BINARY_SUFFIX) else "text"
+    print(
+        f"converted {len(stream)} edges (m={stream.m}, n={stream.n}) "
+        f"{detect_format(args.src)} -> {dst_format}: {args.dst}"
     )
     return 0
 
@@ -339,6 +385,7 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "plan": _cmd_plan,
     "generate": _cmd_generate,
+    "convert": _cmd_convert,
     "diagnose": _cmd_diagnose,
     "experiment": _cmd_experiment,
 }

@@ -27,18 +27,30 @@ the same hash seeds -- which is the precondition every ``merge`` method
 validates.  ``factory`` must be picklable; ``functools.partial`` of the
 class is the canonical spell.
 
-Worker state travels through
+Dispatch: what travels *to* a worker is a shard descriptor, not data.
+On the ``shared_memory`` path the coordinator copies the stream's two
+int64 columns into one ``multiprocessing.shared_memory`` block and each
+worker receives only ``(block name, [lo, hi))`` -- O(1) bytes per shard
+regardless of stream length.  When the stream is a memory-mapped binary
+file (``EdgeStream.load_binary(..., mmap=True)``), even that copy is
+skipped: workers receive the file path and page the columns straight
+from the OS cache (``mmap`` dispatch).  The legacy ``pickle`` path
+(column slices serialised into each payload) is kept both as the
+no-shared-memory fallback and as an equivalence baseline.
+
+Worker state travels back through
 :func:`~repro.sketch.serialize.dumps_state` /
 :func:`~repro.sketch.serialize.loads_state` (flat numpy ``.npz`` blobs,
 no code pickling).  The ``serial`` backend runs the same
-shard/ship/merge pipeline in-process -- identical numerics, no pool --
-and is both the deterministic test harness and the fallback when
+shard/resolve/ship/merge pipeline in-process -- identical numerics, no
+pool -- and is both the deterministic test harness and the fallback when
 processes are unavailable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -76,37 +88,96 @@ class ShardedRunReport(RunReport):
     ``tokens``/``chunks``/``seconds`` describe the whole sharded run
     (``seconds`` is end-to-end wall clock, so ``tokens_per_sec`` reflects
     realised parallel throughput); ``shards`` breaks the pass down.
+    ``dispatch`` records which data plane carried the shards and
+    ``dispatch_bytes`` how many bytes of payload were shipped to workers
+    in total -- O(stream) on ``pickle``, O(workers) on
+    ``shared_memory``/``mmap``.
     """
 
     workers: int = 1
     merge_seconds: float = 0.0
     shards: tuple[ShardTiming, ...] = field(default_factory=tuple)
+    dispatch: str = "pickle"
+    dispatch_bytes: int = 0
+
+
+def _resolve_shard(source):
+    """Materialise a shard descriptor into ``(set_ids, elements, shm)``.
+
+    ``source`` is one of::
+
+        ("arrays", set_ids, elements)        # pickle dispatch: the data
+        ("shm", name, total, lo, hi)         # shared-memory block + range
+        ("mmap", path, lo, hi)               # binary file + range
+
+    The returned ``shm`` handle (shared-memory path only) must stay open
+    while the columns are in use and be closed by the caller afterwards.
+    """
+    kind = source[0]
+    if kind == "arrays":
+        _, set_ids, elements = source
+        return set_ids, elements, None
+    if kind == "shm":
+        _, name, total, lo, hi = source
+        from multiprocessing import shared_memory
+
+        # Workers are always children of the coordinator, so attaching
+        # re-registers the block with the same resource tracker (a
+        # set-level no-op); the coordinator alone unlinks it.
+        shm = shared_memory.SharedMemory(name=name)
+        columns = np.ndarray((2, total), dtype=np.int64, buffer=shm.buf)
+        return columns[0, lo:hi], columns[1, lo:hi], shm
+    if kind == "mmap":
+        _, path, lo, hi = source
+        from repro.streams.io import load_columns
+
+        set_ids, elements, _m, _n = load_columns(path, mmap=True)
+        return set_ids[lo:hi], elements[lo:hi], None
+    raise ValueError(f"unknown shard source kind {kind!r}")
 
 
 def _shard_worker(payload):
     """Run one shard; returns ``(index, tokens, chunks, seconds, blob)``.
 
     Module-level so it pickles under the ``spawn`` start method.  The
-    payload carries the algorithm factory plus the shard's column
-    arrays; the result carries only the state blob, never the object.
+    payload carries the algorithm factory plus a shard *descriptor*
+    (resolved here, inside the worker); the result carries only the
+    state blob, never the object.
     """
-    index, factory, set_ids, elements, chunk_size = payload
-    algo = factory()
-    start = time.perf_counter()
-    chunks = 0
-    for lo in range(0, len(set_ids), chunk_size):
-        algo.process_batch(
-            set_ids[lo : lo + chunk_size], elements[lo : lo + chunk_size]
-        )
-        chunks += 1
-    seconds = time.perf_counter() - start
-    return index, len(set_ids), chunks, seconds, dumps_state(algo)
+    index, factory, source, chunk_size = payload
+    set_ids, elements, shm = _resolve_shard(source)
+    try:
+        algo = factory()
+        tokens = len(set_ids)
+        start = time.perf_counter()
+        chunks = 0
+        for lo in range(0, tokens, chunk_size):
+            algo.process_batch(
+                set_ids[lo : lo + chunk_size], elements[lo : lo + chunk_size]
+            )
+            chunks += 1
+        seconds = time.perf_counter() - start
+        blob = dumps_state(algo)
+    finally:
+        if shm is not None:
+            # Drop every view into the block before closing the mapping.
+            del set_ids, elements
+            shm.close()
+    return index, tokens, chunks, seconds, blob
 
 
 def _stream_columns(stream) -> tuple[np.ndarray, np.ndarray]:
-    """The stream's ``(set_ids, elements)`` columns as int64 arrays."""
+    """The stream's ``(set_ids, elements)`` columns as int64 arrays.
+
+    Columnar streams hand back their own columns (zero copies); plain
+    iterables are materialised once.
+    """
     if hasattr(stream, "as_arrays"):
-        return stream.as_arrays()
+        set_ids, elements = stream.as_arrays()
+        return (
+            np.ascontiguousarray(set_ids, dtype=np.int64),
+            np.ascontiguousarray(elements, dtype=np.int64),
+        )
     edges = list(stream)
     if not edges:
         empty = np.empty(0, dtype=np.int64)
@@ -127,17 +198,26 @@ class ShardedStreamRunner:
         :class:`~repro.base.StreamRunner`.
     backend:
         ``"process"`` fans shards to a ``multiprocessing`` pool;
-        ``"serial"`` runs the identical shard/ship/merge pipeline
-        in-process (deterministic harness / no-pool fallback).
+        ``"serial"`` runs the identical shard/resolve/ship/merge
+        pipeline in-process (deterministic harness / no-pool fallback).
+    dispatch:
+        How shard data reaches workers.  ``"auto"`` (default) picks
+        ``"mmap"`` for file-backed memory-mapped streams, otherwise
+        ``"shared_memory"`` on the process backend and ``"pickle"`` on
+        the serial one.  Explicit values force a path (the equivalence
+        tests exercise all of them); ``"mmap"`` requires a stream loaded
+        with ``EdgeStream.load_binary(..., mmap=True)``.
     """
 
     BACKENDS = ("process", "serial")
+    DISPATCH = ("auto", "pickle", "shared_memory", "mmap")
 
     def __init__(
         self,
         workers: int = 2,
         chunk_size: int = 4096,
         backend: str = "process",
+        dispatch: str = "auto",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -147,9 +227,14 @@ class ShardedStreamRunner:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {self.BACKENDS}"
             )
+        if dispatch not in self.DISPATCH:
+            raise ValueError(
+                f"unknown dispatch {dispatch!r}; choose from {self.DISPATCH}"
+            )
         self.workers = int(workers)
         self.chunk_size = int(chunk_size)
         self.backend = backend
+        self.dispatch = dispatch
 
     def shard_bounds(
         self, total: int, boundaries: list[int] | None = None
@@ -176,6 +261,25 @@ class ShardedStreamRunner:
             )
         return list(zip(cuts[:-1], cuts[1:]))
 
+    def _resolve_dispatch(self, stream) -> str:
+        """The concrete dispatch path for this run."""
+        mmap_backed = bool(
+            getattr(stream, "is_mmap", False)
+            and getattr(stream, "source_path", None)
+        )
+        if self.dispatch == "mmap" and not mmap_backed:
+            raise ValueError(
+                "dispatch='mmap' requires a file-backed memory-mapped "
+                "stream (EdgeStream.load_binary(path, mmap=True))"
+            )
+        if self.dispatch != "auto":
+            return self.dispatch
+        if mmap_backed:
+            return "mmap"
+        if self.backend == "process" and self.workers > 1:
+            return "shared_memory"
+        return "pickle"
+
     def run(self, factory, stream, boundaries: list[int] | None = None):
         """Shard ``stream``, run ``factory()`` per shard, merge, report.
 
@@ -194,20 +298,60 @@ class ShardedStreamRunner:
         set_ids, elements = _stream_columns(stream)
         total = len(set_ids)
         bounds = self.shard_bounds(total, boundaries)
-        payloads = [
-            (i, factory, set_ids[lo:hi], elements[lo:hi], self.chunk_size)
-            for i, (lo, hi) in enumerate(bounds)
-        ]
-        if self.backend == "process" and self.workers > 1:
-            methods = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in methods else None
-            ctx = multiprocessing.get_context(method)
-            with ctx.Pool(processes=self.workers) as pool:
-                results = pool.map(_shard_worker, payloads)
-        else:
-            # Same pipeline, in-process: state still round-trips through
-            # the wire format so both backends exercise one code path.
-            results = [_shard_worker(p) for p in payloads]
+        dispatch = self._resolve_dispatch(stream)
+
+        shm = None
+        try:
+            if dispatch == "shared_memory":
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, 2 * total * 8)
+                )
+                block = np.ndarray((2, total), dtype=np.int64, buffer=shm.buf)
+                block[0] = set_ids
+                block[1] = elements
+                del block
+                sources = [
+                    ("shm", shm.name, total, lo, hi) for lo, hi in bounds
+                ]
+            elif dispatch == "mmap":
+                path = stream.source_path
+                sources = [("mmap", path, lo, hi) for lo, hi in bounds]
+            else:
+                sources = [
+                    ("arrays", set_ids[lo:hi], elements[lo:hi])
+                    for lo, hi in bounds
+                ]
+            dispatch_bytes = sum(
+                s[1].nbytes + s[2].nbytes
+                if s[0] == "arrays"
+                else len(pickle.dumps(s))
+                for s in sources
+            )
+            payloads = [
+                (i, factory, source, self.chunk_size)
+                for i, source in enumerate(sources)
+            ]
+            if self.backend == "process" and self.workers > 1:
+                methods = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in methods else None
+                ctx = multiprocessing.get_context(method)
+                with ctx.Pool(processes=self.workers) as pool:
+                    results = pool.map(_shard_worker, payloads)
+            else:
+                # Same pipeline, in-process: shard descriptors are still
+                # resolved by the worker and state still round-trips
+                # through the wire format, so both backends (and every
+                # dispatch mode) exercise one code path.
+                results = [_shard_worker(p) for p in payloads]
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
         results.sort(key=lambda r: r[0])
 
         merge_start = time.perf_counter()
@@ -233,5 +377,7 @@ class ShardedStreamRunner:
             workers=self.workers,
             merge_seconds=merge_seconds,
             shards=tuple(timings),
+            dispatch=dispatch,
+            dispatch_bytes=dispatch_bytes,
         )
         return merged, report

@@ -17,6 +17,12 @@ from repro.streams.edge_stream import (
     RunReport,
     StreamRunner,
 )
+from repro.streams.io import (
+    BINARY_SUFFIX,
+    detect_format,
+    load_columns,
+    save_columns,
+)
 from repro.streams.generators import (
     Workload,
     common_heavy,
@@ -29,9 +35,13 @@ from repro.streams.generators import (
 
 __all__ = [
     "ARRIVAL_ORDERS",
+    "BINARY_SUFFIX",
     "EdgeStream",
     "RunReport",
     "StreamRunner",
+    "detect_format",
+    "load_columns",
+    "save_columns",
     "Workload",
     "random_uniform",
     "planted_cover",

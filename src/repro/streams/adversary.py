@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.edge_stream import EdgeStream, _round_robin
+from repro.streams.edge_stream import EdgeStream
 from repro.streams.generators import Workload
 
 __all__ = [
@@ -94,6 +94,5 @@ def duplicate_flood(
 def fragmented(workload: Workload) -> EdgeStream:
     """Maximal per-set spread: one edge per set per round."""
     system = workload.system
-    return EdgeStream(
-        _round_robin(sorted(system.edges())), m=system.m, n=system.n
-    )
+    stream = EdgeStream(system.edges(), m=system.m, n=system.n)
+    return stream.reordered("round_robin")

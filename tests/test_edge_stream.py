@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+import numpy as np
 import pytest
 
 from repro.streams.edge_stream import ARRIVAL_ORDERS, EdgeStream
@@ -99,3 +100,112 @@ class TestRoundTrip:
         assert rebuilt.m == tiny_system.m
         for j in range(tiny_system.m):
             assert rebuilt.set_contents(j) == tiny_system.set_contents(j)
+
+
+# -- golden reference: the pre-columnar pure-Python reorderings ----------
+
+
+def _golden_round_robin(sorted_edges):
+    """The original pure-Python round robin (one edge per set per round)."""
+    per_set: dict[int, list[tuple[int, int]]] = {}
+    for s, e in sorted_edges:
+        per_set.setdefault(s, []).append((s, e))
+    queues = [per_set[s] for s in sorted(per_set)]
+    out: list[tuple[int, int]] = []
+    cursor = 0
+    alive = True
+    while alive:
+        alive = False
+        for q in queues:
+            if cursor < len(q):
+                out.append(q[cursor])
+                alive = True
+        cursor += 1
+    return out
+
+
+def _golden_reordered(edges, order, seed=0):
+    """The original tuple-list implementations, kept as the fixture."""
+    if order == "set_major":
+        return sorted(edges)
+    if order in ("element_major", "player_major"):
+        return sorted(edges, key=lambda se: (se[1], se[0]))
+    if order == "random":
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(edges))
+        return [edges[i] for i in perm]
+    return _golden_round_robin(sorted(edges))
+
+
+GOLDEN_CASES = {
+    "duplicated_edges": [
+        (1, 2), (1, 2), (0, 3), (2, 2), (1, 2), (0, 3), (2, 0), (2, 2),
+    ],
+    "single_set": [(3, e) for e in (5, 1, 4, 1, 2, 0, 4)],
+    "empty": [],
+    "ragged_sets": [
+        (0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (2, 4), (2, 5), (4, 1),
+    ],
+}
+
+
+class TestGoldenOrders:
+    """Vectorized reorderings are bit-identical to the old Python code."""
+
+    @pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+    @pytest.mark.parametrize("order", ARRIVAL_ORDERS)
+    def test_matches_golden(self, case, order):
+        edges = GOLDEN_CASES[case]
+        stream = EdgeStream(edges, m=6, n=8)
+        assert list(stream.reordered(order, seed=5)) == _golden_reordered(
+            edges, order, seed=5
+        )
+
+    @pytest.mark.parametrize("order", ARRIVAL_ORDERS)
+    def test_matches_golden_on_workload(self, tiny_system, order):
+        edges = EdgeStream.from_system(tiny_system, order="random", seed=1).edges
+        stream = EdgeStream(edges, m=tiny_system.m, n=tiny_system.n)
+        assert list(stream.reordered(order, seed=9)) == _golden_reordered(
+            edges, order, seed=9
+        )
+
+
+class TestColumnarStorage:
+    def test_as_arrays_is_zero_copy(self, stream):
+        a1, b1 = stream.as_arrays()
+        a2, b2 = stream.as_arrays()
+        assert a1 is a2 and b1 is b2
+        assert a1.dtype == np.int64 and b1.dtype == np.int64
+
+    def test_own_columns_are_readonly(self, stream):
+        set_ids, elements = stream.as_arrays()
+        with pytest.raises(ValueError):
+            set_ids[0] = 99
+        with pytest.raises(ValueError):
+            elements[0] = 99
+
+    def test_iter_chunks_are_views(self, stream):
+        set_ids, _ = stream.as_arrays()
+        chunks = list(stream.iter_chunks(4))
+        assert sum(len(c[0]) for c in chunks) == len(stream)
+        assert all(c[0].base is not None for c in chunks)
+        rebuilt = np.concatenate([c[0] for c in chunks])
+        np.testing.assert_array_equal(rebuilt, set_ids)
+
+    def test_from_columns_adopts_arrays(self):
+        set_ids = np.asarray([0, 2, 1], dtype=np.int64)
+        elements = np.asarray([3, 4, 5], dtype=np.int64)
+        stream = EdgeStream.from_columns(set_ids, elements)
+        got_ids, got_els = stream.as_arrays()
+        assert got_ids is set_ids and got_els is elements
+        assert (stream.m, stream.n) == (3, 6)
+
+    def test_from_columns_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            EdgeStream.from_columns(
+                np.arange(3, dtype=np.int64), np.arange(4, dtype=np.int64)
+            )
+
+    def test_iteration_yields_int_tuples(self, stream):
+        for set_id, element in stream:
+            assert type(set_id) is int and type(element) is int

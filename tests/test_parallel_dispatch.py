@@ -1,0 +1,205 @@
+"""Tests for shard dispatch: bounds edge cases, shared memory, cleanup.
+
+Complements ``tests/test_shard_equivalence.py`` (which proves the merged
+*answers* match a single pass): this file covers the data plane itself
+-- shard-bound pathologies, the pickled vs shared-memory vs mmap
+dispatch paths returning identical bits, O(1) dispatch payloads, and
+shared-memory teardown when a worker dies mid-shard.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+
+import pytest
+
+from repro import (
+    EdgeStream,
+    EstimateMaxCover,
+    ShardedStreamRunner,
+    StreamRunner,
+    planted_cover,
+)
+
+M, N, K, ALPHA = 60, 120, 4, 3.0
+FACTORY = partial(EstimateMaxCover, m=M, n=N, k=K, alpha=ALPHA, seed=7)
+
+
+def _boom_factory():
+    raise RuntimeError("worker construction failed")
+
+
+@pytest.fixture(scope="module")
+def small_stream() -> EdgeStream:
+    workload = planted_cover(n=N, m=M, k=K, coverage_frac=0.9, seed=5)
+    return EdgeStream.from_system(workload.system, order="random", seed=2)
+
+
+@pytest.fixture(scope="module")
+def reference(small_stream) -> float:
+    algo = FACTORY()
+    StreamRunner(path="scalar").run(algo, small_stream)
+    return algo.estimate()
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except OSError:  # pragma: no cover - non-POSIX shm layout
+        return set()
+
+
+class TestShardBounds:
+    def test_more_workers_than_tokens(self):
+        runner = ShardedStreamRunner(workers=5, backend="serial")
+        bounds = runner.shard_bounds(2)
+        assert len(bounds) == 5
+        assert bounds[0] == (0, 0)
+        assert bounds[-1] == (1, 2)
+        assert sum(hi - lo for lo, hi in bounds) == 2
+        assert all(lo <= hi for lo, hi in bounds)
+
+    def test_empty_stream_bounds(self):
+        runner = ShardedStreamRunner(workers=3, backend="serial")
+        assert runner.shard_bounds(0) == [(0, 0)] * 3
+
+    def test_unsorted_boundaries_rejected(self):
+        runner = ShardedStreamRunner(workers=3, backend="serial")
+        with pytest.raises(ValueError, match="boundaries"):
+            runner.shard_bounds(10, boundaries=[7, 3])
+
+    def test_wrong_boundary_count_rejected(self):
+        runner = ShardedStreamRunner(workers=3, backend="serial")
+        with pytest.raises(ValueError, match="boundaries"):
+            runner.shard_bounds(10, boundaries=[5])
+
+    def test_out_of_range_boundary_rejected(self):
+        runner = ShardedStreamRunner(workers=2, backend="serial")
+        with pytest.raises(ValueError, match="boundaries"):
+            runner.shard_bounds(10, boundaries=[11])
+
+    def test_more_workers_than_tokens_runs(self, reference):
+        """A run with mostly-empty shards still merges to the answer."""
+        tiny = EdgeStream([(0, 1), (2, 3)], m=M, n=N)
+        tiny_ref = FACTORY()
+        StreamRunner(path="scalar").run(tiny_ref, tiny)
+        merged, report = ShardedStreamRunner(
+            workers=5, backend="serial"
+        ).run(FACTORY, tiny)
+        assert merged.estimate() == tiny_ref.estimate()
+        assert sum(t.tokens for t in report.shards) == 2
+
+    def test_empty_stream_runs(self):
+        empty = EdgeStream([], m=M, n=N)
+        fresh = FACTORY()
+        merged, report = ShardedStreamRunner(
+            workers=3, backend="serial"
+        ).run(FACTORY, empty)
+        assert report.tokens == 0
+        assert merged.estimate() == fresh.estimate()
+
+
+class TestDispatchEquivalence:
+    @pytest.mark.parametrize("dispatch", ["pickle", "shared_memory"])
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_dispatch_paths_bit_identical(
+        self, small_stream, reference, backend, dispatch
+    ):
+        merged, report = ShardedStreamRunner(
+            workers=2, chunk_size=128, backend=backend, dispatch=dispatch
+        ).run(FACTORY, small_stream)
+        assert merged.estimate() == reference
+        assert report.dispatch == dispatch
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_mmap_dispatch_bit_identical(
+        self, small_stream, reference, tmp_path, backend
+    ):
+        path = tmp_path / "s.npz"
+        small_stream.save_binary(path)
+        mapped = EdgeStream.load_binary(path, mmap=True)
+        merged, report = ShardedStreamRunner(
+            workers=2, chunk_size=128, backend=backend
+        ).run(FACTORY, mapped)
+        assert report.dispatch == "mmap"
+        assert merged.estimate() == reference
+
+    def test_mmap_dispatch_requires_file_backing(self, small_stream):
+        runner = ShardedStreamRunner(
+            workers=2, backend="serial", dispatch="mmap"
+        )
+        with pytest.raises(ValueError, match="mmap"):
+            runner.run(FACTORY, small_stream)
+
+    def test_auto_prefers_shared_memory_on_process_backend(
+        self, small_stream, reference
+    ):
+        merged, report = ShardedStreamRunner(
+            workers=2, chunk_size=128, backend="process"
+        ).run(FACTORY, small_stream)
+        assert report.dispatch == "shared_memory"
+        assert merged.estimate() == reference
+
+    def test_unknown_dispatch_rejected(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            ShardedStreamRunner(dispatch="carrier_pigeon")
+
+
+class TestDispatchBytes:
+    def test_shared_memory_payload_independent_of_stream_length(
+        self, small_stream
+    ):
+        """The tentpole property: shard descriptors are O(1), so bytes
+        shipped do not grow with the stream."""
+        short = small_stream
+        long_edges = short.edges * 4
+        long = EdgeStream(long_edges, m=short.m, n=short.n)
+
+        def bytes_for(stream, dispatch):
+            _, report = ShardedStreamRunner(
+                workers=2, backend="serial", dispatch=dispatch
+            ).run(FACTORY, stream)
+            return report.dispatch_bytes
+
+        shm_short = bytes_for(short, "shared_memory")
+        shm_long = bytes_for(long, "shared_memory")
+        # O(1) descriptors: a 4x longer stream costs the same payload
+        # give or take a few bytes of integer width in the range fields.
+        assert abs(shm_long - shm_short) <= 8
+        assert shm_long < 1024
+        assert bytes_for(long, "pickle") > 4 * shm_long
+        # Pickle payloads scale with the stream.
+        assert bytes_for(long, "pickle") == pytest.approx(
+            4 * bytes_for(short, "pickle"), rel=0.01
+        )
+
+    def test_mmap_payload_is_constant_size(self, small_stream, tmp_path):
+        path = tmp_path / "s.npz"
+        small_stream.save_binary(path)
+        mapped = EdgeStream.load_binary(path, mmap=True)
+        _, report = ShardedStreamRunner(
+            workers=2, backend="serial"
+        ).run(FACTORY, mapped)
+        assert report.dispatch == "mmap"
+        assert report.dispatch_bytes < 1024
+
+
+class TestSharedMemoryCleanup:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_segment_released_after_run(self, small_stream, backend):
+        before = _shm_segments()
+        ShardedStreamRunner(
+            workers=2, backend=backend, dispatch="shared_memory"
+        ).run(FACTORY, small_stream)
+        assert _shm_segments() <= before
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_segment_released_on_worker_failure(self, small_stream, backend):
+        before = _shm_segments()
+        runner = ShardedStreamRunner(
+            workers=2, backend=backend, dispatch="shared_memory"
+        )
+        with pytest.raises(RuntimeError, match="worker construction failed"):
+            runner.run(_boom_factory, small_stream)
+        assert _shm_segments() <= before

@@ -1,0 +1,195 @@
+"""Tests for the binary stream format and format auto-detection.
+
+The binary round-trip contract: ``save_binary`` -> ``load_binary``
+preserves the shape header and the exact arrival order (bit-identical
+columns), in both the eager and the memory-mapped loading modes, for
+every arrival order including duplicate-bearing streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.streams.edge_stream import ARRIVAL_ORDERS, EdgeStream
+from repro.streams.io import detect_format, load_columns, save_columns
+
+
+@pytest.fixture()
+def stream(tiny_system):
+    return EdgeStream.from_system(tiny_system, order="random", seed=3)
+
+
+class TestBinaryRoundTrip:
+    @pytest.mark.parametrize("order", ARRIVAL_ORDERS)
+    @pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+    def test_order_and_shape_preserved(self, tiny_system, tmp_path, order, mmap):
+        stream = EdgeStream.from_system(tiny_system, order=order, seed=5)
+        path = tmp_path / "s.npz"
+        stream.save_binary(path)
+        loaded = EdgeStream.load_binary(path, mmap=mmap)
+        assert loaded.edges == stream.edges
+        assert (loaded.m, loaded.n) == (stream.m, stream.n)
+
+    @pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+    def test_duplicated_edges_survive(self, tmp_path, mmap):
+        stream = EdgeStream([(1, 2), (1, 2), (0, 3), (1, 2)], m=4, n=5)
+        path = tmp_path / "dup.npz"
+        stream.save_binary(path)
+        loaded = EdgeStream.load_binary(path, mmap=mmap)
+        assert loaded.edges == [(1, 2), (1, 2), (0, 3), (1, 2)]
+
+    @pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+    def test_empty_stream(self, tmp_path, mmap):
+        stream = EdgeStream([], m=3, n=7)
+        path = tmp_path / "empty.npz"
+        stream.save_binary(path)
+        loaded = EdgeStream.load_binary(path, mmap=mmap)
+        assert len(loaded) == 0
+        assert (loaded.m, loaded.n) == (3, 7)
+
+    def test_mmap_columns_are_readonly_maps(self, stream, tmp_path):
+        path = tmp_path / "s.npz"
+        stream.save_binary(path)
+        loaded = EdgeStream.load_binary(path, mmap=True)
+        set_ids, elements = loaded.as_arrays()
+        assert isinstance(set_ids, np.memmap)
+        assert not set_ids.flags.writeable
+        np.testing.assert_array_equal(set_ids, stream.as_arrays()[0])
+        np.testing.assert_array_equal(elements, stream.as_arrays()[1])
+
+    def test_backing_metadata_recorded(self, stream, tmp_path):
+        path = tmp_path / "s.npz"
+        stream.save_binary(path)
+        eager = EdgeStream.load_binary(path)
+        mapped = EdgeStream.load_binary(path, mmap=True)
+        assert eager.source_path == str(path) and not eager.is_mmap
+        assert mapped.source_path == str(path) and mapped.is_mmap
+
+    def test_text_binary_text_identical(self, stream, tmp_path):
+        text1 = tmp_path / "a.txt"
+        binary = tmp_path / "a.npz"
+        text2 = tmp_path / "b.txt"
+        stream.save(text1)
+        EdgeStream.load(text1).save_binary(binary)
+        EdgeStream.load_binary(binary).save(text2)
+        assert text1.read_text() == text2.read_text()
+
+
+class TestColumnsAPI:
+    def test_save_columns_rejects_mismatched(self, tmp_path):
+        with pytest.raises(ValueError, match="equal-length"):
+            save_columns(
+                tmp_path / "bad.npz",
+                np.arange(3, dtype=np.int64),
+                np.arange(4, dtype=np.int64),
+                5,
+                5,
+            )
+
+    def test_load_columns_rejects_non_stream_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="not a stream archive"):
+            load_columns(path)
+
+    def test_load_columns_shape_header(self, tmp_path):
+        path = tmp_path / "s.npz"
+        save_columns(
+            path,
+            np.asarray([0, 1], dtype=np.int64),
+            np.asarray([2, 3], dtype=np.int64),
+            9,
+            11,
+        )
+        _ids, _els, m, n = load_columns(path)
+        assert (m, n) == (9, 11)
+
+    def test_compressed_archive_rejected_for_mmap(self, tmp_path):
+        path = tmp_path / "z.npz"
+        np.savez_compressed(
+            path,
+            set_ids=np.arange(4, dtype=np.int64),
+            elements=np.arange(4, dtype=np.int64),
+            shape=np.asarray([4, 4], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="compressed"):
+            load_columns(path, mmap=True)
+        # ... but eager loading still works.
+        _ids, _els, m, n = load_columns(path)
+        assert (m, n) == (4, 4)
+
+
+class TestDetection:
+    def test_detect_by_extension(self, stream, tmp_path):
+        binary = tmp_path / "s.npz"
+        text = tmp_path / "s.txt"
+        stream.save_binary(binary)
+        stream.save(text)
+        assert detect_format(binary) == "binary"
+        assert detect_format(text) == "text"
+
+    def test_detect_by_magic_when_renamed(self, stream, tmp_path):
+        disguised = tmp_path / "s.dat"
+        stream.save_binary(tmp_path / "s.npz")
+        (tmp_path / "s.npz").rename(disguised)
+        assert detect_format(disguised) == "binary"
+        loaded = EdgeStream.load_auto(disguised)
+        assert loaded.edges == stream.edges
+
+    def test_load_auto_routes_both_formats(self, stream, tmp_path):
+        binary = tmp_path / "s.npz"
+        text = tmp_path / "s.txt"
+        stream.save_binary(binary)
+        stream.save(text)
+        assert EdgeStream.load_auto(binary).edges == stream.edges
+        assert EdgeStream.load_auto(text).edges == stream.edges
+        mapped = EdgeStream.load_auto(binary, mmap=True)
+        assert mapped.is_mmap and mapped.edges == stream.edges
+
+
+class TestConvertCLI:
+    def test_convert_text_to_binary_and_back(self, tmp_path, capsys):
+        stream = EdgeStream([(0, 1), (2, 3), (0, 4), (0, 4)], m=5, n=6)
+        text = tmp_path / "s.txt"
+        binary = tmp_path / "s.npz"
+        back = tmp_path / "back.txt"
+        stream.save(text)
+
+        assert main(["convert", str(text), str(binary)]) == 0
+        assert "text -> binary" in capsys.readouterr().out
+        assert main(["convert", str(binary), str(back)]) == 0
+        assert "binary -> text" in capsys.readouterr().out
+        assert text.read_text() == back.read_text()
+
+    def test_generate_npz_writes_binary(self, tmp_path, capsys):
+        out = tmp_path / "gen.npz"
+        code = main(
+            [
+                "generate", "planted",
+                "--n", "100", "--m", "50", "--k", "4",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert detect_format(out) == "binary"
+        loaded = EdgeStream.load_binary(out)
+        assert (loaded.m, loaded.n) == (50, 100)
+
+    def test_estimate_binary_matches_text(self, tmp_path, capsys):
+        from repro.streams.generators import planted_cover
+
+        workload = planted_cover(n=120, m=60, k=4, coverage_frac=0.9, seed=3)
+        stream = EdgeStream.from_system(workload.system, order="random", seed=1)
+        text = tmp_path / "s.txt"
+        binary = tmp_path / "s.npz"
+        stream.save(text)
+        stream.save_binary(binary)
+
+        main(["estimate", str(text), "--k", "4", "--alpha", "4"])
+        text_out = capsys.readouterr().out
+        main(["estimate", str(binary), "--k", "4", "--alpha", "4", "--mmap"])
+        binary_out = capsys.readouterr().out
+        line = lambda out: out.split("estimate:")[1].splitlines()[0]
+        assert line(text_out) == line(binary_out)
