@@ -173,6 +173,22 @@ class StreamingAlgorithm(abc.ABC):
         self._tokens_seen += len(columns[0])
         self._process_batch(*columns)
 
+    def _ingest_planned(self, set_ids, elements, ctx) -> None:
+        """Feed a chunk together with its fused-evaluation context.
+
+        The planned counterpart of :meth:`_ingest_batch`: composite
+        roots that built an :class:`repro.engine.plan.EvalPlan` hand
+        each consumer the per-chunk :class:`~repro.engine.plan.ChunkContext`
+        so registered hash families are evaluated once and shared.
+        """
+        self._check_open()
+        self._tokens_seen += len(set_ids)
+        self._process_planned(set_ids, elements, ctx)
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        """Planned batch kernel; defaults to the unplanned one."""
+        self._process_batch(set_ids, elements)
+
     def process_stream_batched(
         self, stream, batch_size: int = 8192
     ) -> "StreamingAlgorithm":

@@ -176,6 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="output stream file (.npz writes the columnar binary)",
     )
 
+    bench = sub.add_parser(
+        "bench", help="time one estimator pass over a stream"
+    )
+    add_common(bench)
+    bench.add_argument("--alpha", type=float, default=4.0)
+    add_engine(bench)
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-kernel wall-clock breakdown of the pass "
+        "(hash evaluation, sketch scatters, candidate pools, ...)",
+    )
+    bench.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="disable the fused evaluation plan and run the legacy "
+        "per-branch path (same numbers, for A/B timing)",
+    )
+
     conv = sub.add_parser(
         "convert", help="re-encode a stream file (text <-> binary)"
     )
@@ -379,6 +398,59 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import contextlib
+    import functools
+
+    from repro.engine.plan import planning_disabled
+    from repro.engine.profile import PROFILER
+
+    stream = _load(args)
+    factory = functools.partial(
+        EstimateMaxCover,
+        m=stream.m,
+        n=stream.n,
+        k=args.k,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    plan_guard = (
+        planning_disabled() if args.no_plan else contextlib.nullcontext()
+    )
+    if args.profile:
+        PROFILER.start()
+    try:
+        with plan_guard:
+            algo, report = _run_maybe_sharded(args, factory, stream)
+    finally:
+        if args.profile:
+            PROFILER.stop()
+    print(f"tokens: {report.tokens}")
+    print(f"seconds: {report.seconds:.3f}")
+    print(f"estimate: {algo.estimate():.1f}")
+    print(f"space_words: {algo.space_words()}")
+    print(f"plan: {'disabled' if args.no_plan else 'fused'}")
+    _print_throughput(args, report)
+    if args.profile:
+        breakdown = PROFILER.snapshot()
+        if not breakdown:
+            print("profile: no instrumented kernels fired")
+        else:
+            total = sum(v["seconds"] for v in breakdown.values())
+            print("profile (per-kernel wall clock):")
+            for name, entry in breakdown.items():
+                share = 100.0 * entry["seconds"] / total if total else 0.0
+                print(
+                    f"  {name:<12} {entry['seconds']:8.3f}s "
+                    f"{share:5.1f}%  {entry['calls']:>8} calls"
+                )
+            print(
+                f"  {'(accounted)':<12} {total:8.3f}s of "
+                f"{report.seconds:.3f}s pass"
+            )
+    return 0
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "report": _cmd_report,
@@ -388,6 +460,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "diagnose": _cmd_diagnose,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
 }
 
 

@@ -41,6 +41,7 @@ from repro.base import (
 from repro.core.oracle import Oracle
 from repro.core.parameters import Parameters
 from repro.core.universe_reduction import ReducerBank, UniverseReducer
+from repro.engine.plan import EvalPlan, planning_enabled
 from repro.sketch.hashing import same_hash
 
 __all__ = ["EstimateMaxCover"]
@@ -152,6 +153,23 @@ class EstimateMaxCover(StreamingAlgorithm):
         self._reducer_bank = ReducerBank(
             [reducer for _z, reducer, _oracle in self._branches]
         )
+        # Fused evaluation plan; built lazily at the first vectorised
+        # chunk so the scalar path and worker construction stay cheap.
+        self._plan = None
+        self._branch_slots = None
+
+    def _ensure_plan(self) -> EvalPlan:
+        """Build (once) the fused plan spanning every branch's oracle."""
+        if self._plan is None:
+            plan = EvalPlan(self.m, self.n)
+            slots = []
+            for _z, reducer, oracle in self._branches:
+                reduced_col, slot = plan.derive(plan.elems, reducer._hash)
+                oracle._register_plan(plan, plan.sets, reduced_col)
+                slots.append(slot)
+            self._plan = plan
+            self._branch_slots = slots
+        return self._plan
 
     def _process(self, set_id, element) -> None:
         if self.trivial:
@@ -162,6 +180,14 @@ class EstimateMaxCover(StreamingAlgorithm):
     def _process_batch(self, set_ids, elements) -> None:
         if self.trivial:
             return
+        if planning_enabled():
+            ctx = self._ensure_plan().begin_chunk(set_ids, elements)
+            if ctx is not None:
+                for slot, (_z, _reducer, oracle) in zip(
+                    self._branch_slots, self._branches
+                ):
+                    oracle._ingest_planned(set_ids, ctx.values(slot), ctx)
+                return
         reduced = self._reducer_bank.map_all(elements)
         for row, (_z, _reducer, oracle) in zip(reduced, self._branches):
             oracle._ingest_batch(set_ids, row)

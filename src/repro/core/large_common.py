@@ -122,6 +122,32 @@ class LargeCommon(StreamingAlgorithm):
             if len(kept):
                 sketch.process_batch(kept)
 
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, set_col, elem_col) -> None:
+        """Register every layer's membership test against the set column."""
+        self._layer_slots = [
+            plan.request_mask(set_col, sampler._membership)
+            for sampler in self._samplers
+        ]
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        slots = getattr(self, "_layer_slots", None)
+        if slots is None:
+            self._process_batch(set_ids, elements)
+            return
+        domain = self.params.n
+        for sketch, slot in zip(self._sketches, slots):
+            kept = elements[slot.mask(ctx)]
+            if len(kept):
+                # Tabulated fast path for the stock KMV sketch; a custom
+                # l0_factory only promises the public protocol.
+                tabulated = getattr(sketch, "process_tabulated", None)
+                if tabulated is not None:
+                    tabulated(kept, domain)
+                else:
+                    sketch.process_batch(kept)
+
     def estimate(self) -> float | None:
         """Finalise; the certified estimate, or ``None`` for *infeasible*.
 

@@ -49,6 +49,7 @@ from repro.base import (
     unpack_state,
 )
 from repro.core.parameters import Parameters
+from repro.engine.profile import PROFILER
 from repro.sketch.contributing import F2Contributing
 from repro.sketch.element_sampling import ElementSampler
 from repro.sketch.hashing import (
@@ -152,6 +153,10 @@ class LargeSetRun(StreamingAlgorithm):
         self._superset_l0: dict[int, L0Sketch] = {}
         # Element-membership memo (speed cache, outside the space model).
         self._element_memo: dict[int, bool] = {}
+        # Fused-plan slots (see _register_plan); populated lazily.
+        self._elem_slot = None
+        self._partition_slot = None
+        self._ss_slot = None
 
     # -- stream processing -------------------------------------------------
 
@@ -224,6 +229,84 @@ class LargeSetRun(StreamingAlgorithm):
             for sid in np.unique(kept_sids):
                 self._superset_sketch(int(sid)).process_batch(
                     kept_elems[kept_sids == sid]
+                )
+
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, set_col, elem_col) -> None:
+        """Register this run's hash families and derive its sid column."""
+        sampler = self.element_sampler
+        self._elem_slot = (
+            None
+            if sampler is None
+            else plan.request_mask(elem_col, sampler._membership)
+        )
+        sid_col, self._partition_slot = plan.derive(set_col, self._partition)
+        self._cntr_small._register_plan(plan, sid_col)
+        self._cntr_large._register_plan(plan, sid_col)
+        self._ss_slot = plan.request_mask(sid_col, self._superset_sampler)
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        """Planned kernel: one group-split feeds every consumer.
+
+        The superset-id column is gathered from the plan's partition
+        table; a single stable argsort then yields, at once, the
+        chunk's unique sids, their multiplicities, their first-arrival
+        positions, and contiguous element groups -- replacing the
+        per-counter ``np.unique`` calls and the per-sid boolean masks
+        of the unplanned path.  Bit-identical to
+        ``_process_batch(set_ids, elements)``.
+        """
+        if self._partition_slot is None:
+            self._process_batch(set_ids, elements)
+            return
+        slot = self._elem_slot
+        if slot is not None:
+            mask = ctx.mask(slot)
+            if not mask.any():
+                return
+            sids = ctx.values(self._partition_slot)[mask]
+            elements = elements[mask]
+        else:
+            sids = ctx.values(self._partition_slot)
+            if not len(sids):
+                return
+        profiling = PROFILER.enabled
+        t0 = PROFILER.clock() if profiling else 0.0
+        order = np.argsort(sids, kind="stable")
+        sorted_sids = sids[order]
+        length = len(sorted_sids)
+        starts = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                np.flatnonzero(sorted_sids[1:] != sorted_sids[:-1]) + 1,
+            )
+        )
+        present = sorted_sids[starts]
+        counts = np.diff(np.append(starts, length))
+        first_pos = order[starts]
+        if profiling:
+            PROFILER.add("group-split", PROFILER.clock() - t0)
+        self._cntr_small.ingest_grouped(present, first_pos, counts, sids)
+        self._cntr_large.ingest_grouped(present, first_pos, counts, sids)
+        ss_slot = self._ss_slot
+        if ss_slot.trivial:
+            sampled = np.arange(len(present))
+        else:
+            table = ss_slot.mask_table()
+            if table is not None:
+                sampled = np.flatnonzero(table[present])
+            else:
+                sampled = np.flatnonzero(
+                    self._superset_sampler.contains_many(present)
+                )
+        if len(sampled):
+            ends = np.append(starts[1:], length)
+            sorted_elems = elements[order]
+            domain = self.params.n
+            for i in sampled:
+                self._superset_sketch(int(present[i])).process_tabulated(
+                    sorted_elems[starts[i] : ends[i]], domain
                 )
 
     # -- merging / state ----------------------------------------------------
@@ -445,6 +528,14 @@ class LargeSet(StreamingAlgorithm):
         masks = self._sampler_bank.contains_matrix(elements)
         for run, mask in zip(self._runs, masks):
             run._ingest_presampled(set_ids[mask], elements[mask], len(elements))
+
+    def _register_plan(self, plan, set_col, elem_col) -> None:
+        for run in self._runs:
+            run._register_plan(plan, set_col, elem_col)
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        for run in self._runs:
+            run._ingest_planned(set_ids, elements, ctx)
 
     def best_outcome(self) -> tuple[LargeSetOutcome, LargeSetRun] | None:
         """The winning ``(outcome, run)`` across runs, scaled comparison

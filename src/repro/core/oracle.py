@@ -41,6 +41,7 @@ from repro.core.large_common import LargeCommon
 from repro.core.large_set import LargeSet
 from repro.core.parameters import Parameters
 from repro.core.small_set import SmallSet
+from repro.engine.plan import EvalPlan, planning_enabled
 
 __all__ = ["OracleEstimate", "Oracle"]
 
@@ -123,6 +124,9 @@ class Oracle(StreamingAlgorithm):
             if "small_set" in enable
             else None
         )
+        # Standalone fused plan, built lazily when this oracle is driven
+        # directly (not through EstimateMaxCover's shared plan).
+        self._plan = None
 
     def _process(self, set_id, element) -> None:
         if self._large_common is not None:
@@ -133,6 +137,15 @@ class Oracle(StreamingAlgorithm):
             self._small_set.process(set_id, element)
 
     def _process_batch(self, set_ids, elements) -> None:
+        if planning_enabled():
+            if self._plan is None:
+                plan = EvalPlan(self.params.m, self.params.n)
+                self._register_plan(plan, plan.sets, plan.elems)
+                self._plan = plan
+            ctx = self._plan.begin_chunk(set_ids, elements)
+            if ctx is not None:
+                self._process_planned(set_ids, elements, ctx)
+                return
         # The chunk was validated once at the top-level entry; hand the
         # same arrays to each subroutine without re-conversion.
         if self._large_common is not None:
@@ -141,6 +154,24 @@ class Oracle(StreamingAlgorithm):
             self._large_set._ingest_batch(set_ids, elements)
         if self._small_set is not None:
             self._small_set._ingest_batch(set_ids, elements)
+
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, set_col, elem_col) -> None:
+        if self._large_common is not None:
+            self._large_common._register_plan(plan, set_col, elem_col)
+        if self._large_set is not None:
+            self._large_set._register_plan(plan, set_col, elem_col)
+        if self._small_set is not None:
+            self._small_set._register_plan(plan, set_col, elem_col)
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        if self._large_common is not None:
+            self._large_common._ingest_planned(set_ids, elements, ctx)
+        if self._large_set is not None:
+            self._large_set._ingest_planned(set_ids, elements, ctx)
+        if self._small_set is not None:
+            self._small_set._ingest_planned(set_ids, elements, ctx)
 
     def _children(self):
         return (

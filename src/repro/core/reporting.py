@@ -44,6 +44,7 @@ from repro.base import (
 from repro.core.large_set import LargeSet
 from repro.core.parameters import Parameters
 from repro.core.small_set import SmallSet
+from repro.engine.plan import EvalPlan, planning_enabled
 from repro.sketch.hashing import (
     KWiseHash,
     default_degree,
@@ -148,6 +149,43 @@ class ReportingLargeCommon(StreamingAlgorithm):
                 continue
             kept_sets, kept_elems = set_ids[mask], elements[mask]
             groups = self._group_hashes[layer](kept_sets)
+            layer_l0 = self._group_l0[layer]
+            for group in np.unique(groups):
+                group = int(group)
+                sketch = layer_l0.get(group)
+                if sketch is None:
+                    sketch = L0Sketch(
+                        sketch_size=self._l0_size,
+                        seed=(self._l0_seeds[layer] + group) & (2**63 - 1),
+                    )
+                    layer_l0[group] = sketch
+                sketch.process_batch(kept_elems[groups == group])
+
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, set_col, elem_col) -> None:
+        """Per layer: one membership mask plus one group-hash slot."""
+        self._layer_slots = [
+            (
+                plan.request_mask(set_col, sampler._membership),
+                plan.request(set_col, group_hash),
+            )
+            for sampler, group_hash in zip(
+                self._samplers, self._group_hashes
+            )
+        ]
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        slots = getattr(self, "_layer_slots", None)
+        if slots is None:
+            self._process_batch(set_ids, elements)
+            return
+        for layer, (member_slot, group_slot) in enumerate(slots):
+            mask = member_slot.mask(ctx)
+            if not mask.any():
+                continue
+            kept_elems = elements[mask]
+            groups = group_slot.values(ctx)[mask]
             layer_l0 = self._group_l0[layer]
             for group in np.unique(groups):
                 group = int(group)
@@ -303,6 +341,9 @@ class MaxCoverReporter(StreamingAlgorithm):
             if p.large_set_dominates
             else SmallSet(p, seed=rng.integers(0, 2**63))
         )
+        # Fused evaluation plan over all three subroutines, built lazily
+        # at the first vectorised chunk.
+        self._plan = None
 
     def _process(self, set_id, element) -> None:
         self._large_common.process(set_id, element)
@@ -310,7 +351,29 @@ class MaxCoverReporter(StreamingAlgorithm):
         if self._small_set is not None:
             self._small_set.process(set_id, element)
 
+    def _ensure_plan(self) -> EvalPlan:
+        if self._plan is None:
+            plan = EvalPlan(self.params.m, self.params.n)
+            self._large_common._register_plan(plan, plan.sets, plan.elems)
+            self._large_set._register_plan(plan, plan.sets, plan.elems)
+            if self._small_set is not None:
+                self._small_set._register_plan(
+                    plan, plan.sets, plan.elems
+                )
+            self._plan = plan
+        return self._plan
+
     def _process_batch(self, set_ids, elements) -> None:
+        if planning_enabled():
+            ctx = self._ensure_plan().begin_chunk(set_ids, elements)
+            if ctx is not None:
+                self._large_common._ingest_planned(set_ids, elements, ctx)
+                self._large_set._ingest_planned(set_ids, elements, ctx)
+                if self._small_set is not None:
+                    self._small_set._ingest_planned(
+                        set_ids, elements, ctx
+                    )
+                return
         self._large_common.process_batch(set_ids, elements)
         self._large_set.process_batch(set_ids, elements)
         if self._small_set is not None:

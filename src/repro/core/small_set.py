@@ -53,14 +53,18 @@ class SmallSetRun:
     Stored edges are a *set*: the model's streams may repeat an edge
     arbitrarily often, and duplicates must neither inflate the stored
     sub-instance nor let an adversary exhaust the budget by replaying
-    one pair.
+    one pair.  Edges are kept packed as ``set_id * n + element`` ints
+    (elements live in ``[0, n)`` by the model's known-universe
+    assumption): hashing one machine int per stored edge is several
+    times cheaper than hashing a tuple, and the packed sort order
+    equals the pair sort order, so shipped state is unchanged.
     """
 
     gamma: float
     set_sampler: SetSampler
     element_sampler: ElementSampler
     budget: int
-    edges: set[tuple[int, int]]
+    edges: set[int]
     alive: bool = True
 
     def __post_init__(self) -> None:
@@ -68,6 +72,12 @@ class SmallSetRun:
         # so they are CPython speed caches outside the space model.
         self._set_memo: dict[int, bool] = {}
         self._elem_memo: dict[int, bool] = {}
+        self._stride = self.element_sampler.n
+
+    def iter_edges(self) -> list[tuple[int, int]]:
+        """Stored edges decoded back to ``(set_id, element)`` pairs."""
+        stride = self._stride
+        return [(edge // stride, edge % stride) for edge in self.edges]
 
     def feed_batch(self, set_ids, elements) -> None:
         """Vectorised :meth:`feed` over parallel arrays."""
@@ -90,7 +100,7 @@ class SmallSetRun:
         if not self.alive or not mask.any():
             return
         self.edges.update(
-            zip(set_ids[mask].tolist(), elements[mask].tolist())
+            (set_ids[mask] * self._stride + elements[mask]).tolist()
         )
         if len(self.edges) > self.budget:
             self.alive = False
@@ -111,7 +121,7 @@ class SmallSetRun:
             self._elem_memo[element] = keep
         if not keep:
             return
-        self.edges.add((set_id, element))
+        self.edges.add(set_id * self._stride + element)
         if len(self.edges) > self.budget:
             # Figure 5's guard: a run that outgrows O~(m/alpha^2) words
             # is terminated (its precondition evidently does not hold).
@@ -155,16 +165,19 @@ class SmallSetRun:
         return self
 
     def state_arrays(self) -> dict:
+        packed = np.fromiter(
+            self.edges, dtype=np.int64, count=len(self.edges)
+        )
+        packed.sort()
+        set_ids, elements = np.divmod(packed, self._stride)
         return {
-            "edges": np.asarray(
-                sorted(self.edges), dtype=np.int64
-            ).reshape(-1, 2),
+            "edges": np.column_stack((set_ids, elements)).reshape(-1, 2),
             "alive": np.asarray(self.alive, dtype=np.bool_),
         }
 
     def load_state_arrays(self, state: dict) -> None:
         self.edges = {
-            (int(s), int(e)) for s, e in state["edges"]
+            int(s) * self._stride + int(e) for s, e in state["edges"]
         }
         self.alive = bool(state["alive"])
 
@@ -289,11 +302,41 @@ class SmallSet(StreamingAlgorithm):
         for run, smask, emask in zip(self._runs, set_masks, elem_masks):
             run.feed_masked(set_ids, elements, smask & emask)
 
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, set_col, elem_col) -> None:
+        """Register both sampler grids; one slot pair per run."""
+        self._run_slots = [
+            (
+                plan.request_mask(set_col, run.set_sampler._membership),
+                plan.request_mask(elem_col, run.element_sampler._membership),
+            )
+            for run in self._runs
+        ]
+
+    def _process_planned(self, set_ids, elements, ctx) -> None:
+        slots = getattr(self, "_run_slots", None)
+        if slots is None:
+            self._process_batch(set_ids, elements)
+            return
+        for run, (set_slot, elem_slot) in zip(self._runs, slots):
+            if not run.alive:
+                continue
+            # Rate-1 samplers short-circuit to the shared all-true mask,
+            # skipping both the gather and the boolean AND.
+            if set_slot.trivial:
+                mask = elem_slot.mask(ctx)
+            elif elem_slot.trivial:
+                mask = set_slot.mask(ctx)
+            else:
+                mask = set_slot.mask(ctx) & elem_slot.mask(ctx)
+            run.feed_masked(set_ids, elements, mask)
+
     def _run_value(self, run: SmallSetRun) -> tuple[float, tuple[int, ...]] | None:
         """Greedy-solve a run's stored sub-instance; universe-scaled value."""
         if not run.alive or not run.edges:
             return None
-        system = SetSystem.from_edges(run.edges, n=self.params.n)
+        system = SetSystem.from_edges(run.iter_edges(), n=self.params.n)
         result = lazy_greedy(system, self.cover_size)
         if result.coverage < self.min_support:
             return None

@@ -1,0 +1,31 @@
+"""Fused evaluation engine for the multi-branch streaming composites.
+
+The composite tree (``EstimateMaxCover -> ReducerBank -> Oracle ->
+LargeCommon/LargeSet/SmallSet -> SampledSet/L0/F2/CountSketch``)
+evaluates many k-wise polynomial hash families against the same two
+chunk columns.  :mod:`repro.engine.plan` collects those families into a
+shared :class:`~repro.engine.plan.EvalPlan` that deduplicates identical
+``(range, degree, coefficients)`` members, evaluates same-degree groups
+with one Horner pass, and memoises every per-chunk result so nested
+composites reuse parent evaluations instead of re-hashing.
+
+:mod:`repro.engine.profile` carries the opt-in per-kernel timer behind
+``repro bench --profile``.
+"""
+
+from repro.engine.plan import (
+    ChunkContext,
+    EvalPlan,
+    planning_disabled,
+    planning_enabled,
+)
+from repro.engine.profile import PROFILER, KernelProfiler
+
+__all__ = [
+    "ChunkContext",
+    "EvalPlan",
+    "KernelProfiler",
+    "PROFILER",
+    "planning_disabled",
+    "planning_enabled",
+]

@@ -1,0 +1,66 @@
+"""Opt-in per-kernel wall-clock accounting for the fused engine.
+
+``repro bench --profile`` flips :data:`PROFILER` on for one measured
+pass and prints where the time went: k-wise hash evaluation, sketch
+scatter updates, candidate-pool maintenance, distinct-element inserts,
+shard merging.  The categories are coarse by design -- they answer
+"which kernel family should the next perf PR attack", not "which line".
+
+Instrumented call sites guard on :attr:`KernelProfiler.enabled` before
+touching the clock, so the disabled profiler costs one attribute check
+on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["KernelProfiler", "PROFILER"]
+
+
+class KernelProfiler:
+    """Accumulates seconds and call counts per kernel category."""
+
+    __slots__ = ("enabled", "seconds", "calls")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Clear accumulated timings (does not change ``enabled``)."""
+        self.seconds.clear()
+        self.calls.clear()
+
+    def start(self) -> None:
+        self.reset()
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def add(self, category: str, seconds: float, calls: int = 1) -> None:
+        """Credit ``seconds`` of wall clock to ``category``."""
+        self.seconds[category] = self.seconds.get(category, 0.0) + seconds
+        self.calls[category] = self.calls.get(category, 0) + calls
+
+    def clock(self) -> float:
+        """The clock instrumented sites use; exposed for symmetry."""
+        return time.perf_counter()
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{category: {"seconds": ..., "calls": ...}}``, sorted by cost."""
+        return {
+            name: {
+                "seconds": round(self.seconds[name], 6),
+                "calls": self.calls.get(name, 0),
+            }
+            for name in sorted(
+                self.seconds, key=self.seconds.__getitem__, reverse=True
+            )
+        }
+
+
+#: Process-wide profiler instance shared by every instrumented kernel.
+PROFILER = KernelProfiler()

@@ -50,6 +50,7 @@ processes are unavailable.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 from dataclasses import dataclass, field
@@ -57,6 +58,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.base import RunReport, StreamRunner
+from repro.engine.profile import PROFILER
 from repro.sketch.serialize import dumps_state, loads_state
 
 __all__ = ["ShardTiming", "ShardedRunReport", "ShardedStreamRunner"]
@@ -91,7 +93,10 @@ class ShardedRunReport(RunReport):
     ``dispatch`` records which data plane carried the shards and
     ``dispatch_bytes`` how many bytes of payload were shipped to workers
     in total -- O(stream) on ``pickle``, O(workers) on
-    ``shared_memory``/``mmap``.
+    ``shared_memory``/``mmap``.  ``fallback`` is ``"single_pass"`` when
+    the runner skipped the shard pipeline entirely (one effective
+    worker, e.g. ``workers="auto"`` on a single-core host) and ``""``
+    otherwise.
     """
 
     workers: int = 1
@@ -99,6 +104,7 @@ class ShardedRunReport(RunReport):
     shards: tuple[ShardTiming, ...] = field(default_factory=tuple)
     dispatch: str = "pickle"
     dispatch_bytes: int = 0
+    fallback: str = ""
 
 
 def _resolve_shard(source):
@@ -193,6 +199,12 @@ class ShardedStreamRunner:
     ----------
     workers:
         Number of shards (and, on the ``process`` backend, pool size).
+        ``"auto"`` sizes the pool to ``os.cpu_count()``.  One effective
+        worker -- ``workers=1`` or ``"auto"`` on a single-core host --
+        skips the shard pipeline and runs a plain in-process single
+        pass (sharding a stream one way only adds dispatch and
+        serialisation overhead); the report records the shortcut in its
+        ``fallback`` field.
     chunk_size:
         Edges per ``process_batch`` call inside each shard, same knob as
         :class:`~repro.base.StreamRunner`.
@@ -214,11 +226,17 @@ class ShardedStreamRunner:
 
     def __init__(
         self,
-        workers: int = 2,
+        workers: int | str = 2,
         chunk_size: int = 4096,
         backend: str = "process",
         dispatch: str = "auto",
     ):
+        if workers == "auto":
+            workers = os.cpu_count() or 1
+        elif not isinstance(workers, int):
+            raise ValueError(
+                f"workers must be an int or 'auto', got {workers!r}"
+            )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -297,6 +315,33 @@ class ShardedStreamRunner:
         start = time.perf_counter()
         set_ids, elements = _stream_columns(stream)
         total = len(set_ids)
+        if self.workers == 1 and boundaries is None:
+            # One effective worker: sharding adds only dispatch and
+            # state-serialisation overhead, so run the pass directly.
+            algo = factory()
+            pass_start = time.perf_counter()
+            chunks = 0
+            for lo in range(0, total, self.chunk_size):
+                algo.process_batch(
+                    set_ids[lo : lo + self.chunk_size],
+                    elements[lo : lo + self.chunk_size],
+                )
+                chunks += 1
+            pass_seconds = time.perf_counter() - pass_start
+            report = ShardedRunReport(
+                tokens=total,
+                chunks=chunks,
+                seconds=time.perf_counter() - start,
+                path="sharded",
+                chunk_size=self.chunk_size,
+                workers=1,
+                merge_seconds=0.0,
+                shards=(ShardTiming(0, total, pass_seconds),),
+                dispatch="in_process",
+                dispatch_bytes=0,
+                fallback="single_pass",
+            )
+            return algo, report
         bounds = self.shard_bounds(total, boundaries)
         dispatch = self._resolve_dispatch(stream)
 
@@ -367,6 +412,8 @@ class ShardedStreamRunner:
             else:
                 merged.merge(shard_algo)
         merge_seconds = time.perf_counter() - merge_start
+        if PROFILER.enabled:
+            PROFILER.add("merge", merge_seconds, max(0, len(results) - 1))
 
         report = ShardedRunReport(
             tokens=total,

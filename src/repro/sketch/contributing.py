@@ -114,6 +114,71 @@ class F2Contributing(StreamingAlgorithm):
             )
         # One stacked hash pass classifies a chunk for every level.
         self._sampler_bank = SampledSetBank(self._samplers)
+        # Fused-plan slots (see _register_plan); populated lazily.
+        self._level_slots = None
+        self._keep_tables = None
+
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, column) -> None:
+        """Register level samplers and sketch rows against ``column``."""
+        self._level_slots = [
+            plan.request_mask(column, sampler) for sampler in self._samplers
+        ]
+        self._keep_tables = None
+        for sketch in self._sketches:
+            sketch._sketch._register_plan(plan, column)
+
+    def _level_keep(self, unique: np.ndarray) -> np.ndarray:
+        """``(levels, U)`` survivor matrix for deduplicated items."""
+        if self._level_slots is not None and self._keep_tables is None:
+            rows = [slot.mask_table() for slot in self._level_slots]
+            if any(row is None for row in rows):
+                self._level_slots = None
+            else:
+                self._keep_tables = np.stack(rows)
+        if self._keep_tables is not None:
+            return self._keep_tables[:, unique]
+        return self._sampler_bank.contains_matrix(unique)
+
+    def ingest_grouped(
+        self, unique, first_seen, counts, raw_items
+    ) -> None:
+        """Planned kernel over pre-deduplicated arrivals.
+
+        The caller (``LargeSetRun``'s planned kernel) groups a chunk's
+        superset ids once; every level then slices the shared
+        ``unique``/``counts`` arrays by its survivor mask instead of
+        re-deduplicating the raw sequence per level.  ``raw_items`` is
+        the raw per-position sequence, only materialised per level when
+        a sketch's candidate pool needs windowed replay.  Bit-identical
+        to ``process_batch(raw_items)``.
+        """
+        self._check_open()
+        total_len = len(raw_items)
+        self._tokens_seen += total_len
+        keep = self._level_keep(unique)
+        for level, sketch in enumerate(self._sketches):
+            row = keep[level]
+            level_counts = counts[row]
+            level_total = int(level_counts.sum())
+            if level_total == 0:
+                continue
+            sampler = self._samplers[level]
+            if sampler.buckets == 1:
+                replay = lambda raw=raw_items: raw
+            elif (
+                self._keep_tables is not None
+            ):
+                table = self._keep_tables[level]
+                replay = lambda raw=raw_items, t=table: raw[t[raw]]
+            else:
+                replay = lambda raw=raw_items, s=sampler: raw[
+                    s.contains_many(raw)
+                ]
+            sketch.ingest_unique(
+                unique[row], first_seen[row], level_counts, level_total, replay
+            )
 
     def _process(self, item, count: int = 1) -> None:
         item = int(item)

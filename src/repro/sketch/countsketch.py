@@ -26,9 +26,20 @@ from repro.base import (
     pack_state,
     unpack_state,
 )
+from repro.engine.profile import PROFILER
 from repro.sketch.hashing import KWiseHash, KWiseHashBank, SignHash
 
 __all__ = ["CountSketch", "F2HeavyHitter"]
+
+#: Distinct-item multiplier above which the flat-``bincount`` scatter
+#: beats per-row ``np.add.at``: bincount allocates and sweeps the whole
+#: ``depth * width`` table, add.at touches ``depth * uniques`` cells
+#: with a far larger per-element constant.
+_BINCOUNT_FACTOR = 16
+
+# Rank sentinel for pool replay: sorts after every real insertion rank
+# (ranks are bounded by pool size + chunk length, far below 2**62).
+_ABSENT = np.int64(1) << 62
 
 
 class CountSketch(StreamingAlgorithm):
@@ -69,6 +80,14 @@ class CountSketch(StreamingAlgorithm):
             [sign._hash for sign in self._sign_hashes]
         )
         self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._row_offsets = (
+            np.arange(self.depth, dtype=np.int64) * self.width
+        ).reshape(-1, 1)
+        # Fused-plan slots (see _register_plan); populated lazily.
+        self._bucket_slots = None
+        self._sign_slots = None
+        self._bucket_tables = None
+        self._sign_tables = None
 
     def _process(self, item, count: int = 1) -> None:
         self.update(int(item), count)
@@ -97,14 +116,91 @@ class CountSketch(StreamingAlgorithm):
         else:
             counts = np.asarray(counts, dtype=np.int64)
         # Deduplicate so the per-row hash work is proportional to the
-        # number of distinct items, not batch length.
+        # number of distinct items, not batch length.  Weighted bincount
+        # is exact here: the summed magnitudes stay far below 2^53.
         unique, inverse = np.unique(items, return_inverse=True)
-        sums = np.zeros(len(unique), dtype=np.int64)
-        np.add.at(sums, inverse, counts)
+        sums = np.bincount(
+            inverse, weights=counts, minlength=len(unique)
+        ).astype(np.int64)
         buckets = self._bucket_bank.eval_many(unique)
         signs = np.where(self._sign_bank.eval_many(unique) == 1, 1, -1)
-        for row in range(self.depth):
-            np.add.at(self._table[row], buckets[row], signs[row] * sums)
+        self._scatter(buckets, signs, sums)
+
+    def _scatter(self, buckets, signs, sums) -> None:
+        """Add ``signs * sums`` into the table rows at ``buckets``.
+
+        Two exactly-equivalent kernels behind a length threshold: many
+        distinct items flatten into one weighted ``np.bincount`` over
+        the whole table (one C pass, no per-index dispatch), few fall
+        back to per-row ``np.add.at`` so tiny updates do not pay a full
+        table sweep.  Weights are float64 but every partial sum is an
+        integer far below 2^53, so the cast back is exact.
+        """
+        profiling = PROFILER.enabled
+        t0 = PROFILER.clock() if profiling else 0.0
+        values = signs * sums
+        cells = self.depth * self.width
+        if len(sums) * _BINCOUNT_FACTOR >= cells:
+            flat = (buckets + self._row_offsets).ravel()
+            self._table += (
+                np.bincount(flat, weights=values.ravel(), minlength=cells)
+                .astype(np.int64)
+                .reshape(self.depth, self.width)
+            )
+        else:
+            for row in range(self.depth):
+                np.add.at(self._table[row], buckets[row], values[row])
+        if profiling:
+            PROFILER.add("scatter", PROFILER.clock() - t0)
+
+    # -- fused-plan hooks ---------------------------------------------------
+
+    def _register_plan(self, plan, column) -> None:
+        """Register every bucket/sign row against ``column``."""
+        self._bucket_slots = [
+            plan.request(column, h) for h in self._bucket_hashes
+        ]
+        self._sign_slots = [
+            plan.request(column, s._hash) for s in self._sign_hashes
+        ]
+        self._bucket_tables = None
+        self._sign_tables = None
+
+    def _planned_rows(self, items):
+        """``(buckets, signs)`` for ``items`` via plan domain tables.
+
+        Returns ``(None, None)`` when the plan kept this column in
+        mega-bank mode (domain too large to tabulate); callers then use
+        the per-chunk banks exactly like the unplanned path.
+        """
+        if self._bucket_slots is None:
+            return None, None
+        if self._bucket_tables is None:
+            bucket_rows = [slot.table() for slot in self._bucket_slots]
+            sign_rows = [slot.table() for slot in self._sign_slots]
+            if any(row is None for row in bucket_rows + sign_rows):
+                self._bucket_slots = None
+                self._sign_slots = None
+                return None, None
+            self._bucket_tables = np.stack(bucket_rows)
+            self._sign_tables = np.where(np.stack(sign_rows) == 1, 1, -1)
+        return self._bucket_tables[:, items], self._sign_tables[:, items]
+
+    def update_grouped(self, items: np.ndarray, sums: np.ndarray) -> None:
+        """Update from pre-deduplicated ``(items, sums)`` pairs.
+
+        The planned ``LargeSet`` kernel dedupes superset ids once per
+        chunk and feeds every consumer the shared unique/count arrays;
+        this entry point skips :meth:`update_batch`'s ``np.unique`` and
+        hashes via the plan's domain tables when available.  The table
+        it produces is bit-identical to :meth:`update_batch` on the raw
+        items.
+        """
+        buckets, signs = self._planned_rows(items)
+        if buckets is None:
+            buckets = self._bucket_bank.eval_many(items)
+            signs = np.where(self._sign_bank.eval_many(items) == 1, 1, -1)
+        self._scatter(buckets, signs, sums)
 
     def query(self, item: int) -> float:
         """Median-of-rows estimate of coordinate ``item``'s frequency."""
@@ -245,26 +341,200 @@ class F2HeavyHitter(StreamingAlgorithm):
             if crosses_boundary:
                 self._prune()
             return
+        self._replay_windows(items)
+
+    def ingest_unique(
+        self, unique, first_seen, counts, total_len, raw_items
+    ) -> None:
+        """Planned kernel over pre-deduplicated arrivals.
+
+        ``unique``/``first_seen``/``counts`` describe ``total_len``
+        arrivals the caller already grouped (``first_seen`` only needs
+        to order items by first arrival; any monotone positions do).
+        ``raw_items`` is a zero-argument callable producing the raw
+        per-position item sequence -- only invoked on the slow path,
+        when a scheduled prune with possible evictions forces windowed
+        replay.  State after this call is bit-identical to
+        ``_process_batch`` on the raw sequence.
+        """
+        self._check_open()
+        self._tokens_seen += total_len
+        self._sketch.update_grouped(unique, counts)
+        profiling = PROFILER.enabled
+        t0 = PROFILER.clock() if profiling else 0.0
         candidates = self._candidates
-        start = 0
-        while start < len(items):
-            until_prune = (
-                self.prune_period - self._pool_tokens % self.prune_period
-            )
-            stop = min(len(items), start + until_prune)
-            for item in items[start:stop].tolist():
-                candidates[item] = candidates.get(item, 0) + 1
-            self._pool_tokens += stop - start
-            if self._pool_tokens % self.prune_period == 0:
+        crosses_boundary = (
+            self._pool_tokens % self.prune_period + total_len
+            >= self.prune_period
+        )
+        if not crosses_boundary:
+            self._accumulate(unique, first_seen, counts)
+            self._pool_tokens += total_len
+        else:
+            # len(unique) bounds the new-item count; only fall back to
+            # the exact membership scan when the bound is inconclusive.
+            if len(candidates) + len(unique) <= self.capacity or len(
+                candidates
+            ) + sum(
+                1 for item in unique.tolist() if item not in candidates
+            ) <= self.capacity:
+                self._accumulate(unique, first_seen, counts)
+                self._pool_tokens += total_len
                 self._prune()
-            start = stop
+            else:
+                self._replay_windows(raw_items())
+        if profiling:
+            PROFILER.add("pool", PROFILER.clock() - t0)
+
+    def _replay_windows(self, items: np.ndarray) -> None:
+        """Window-exact vectorised replay of the prune schedule.
+
+        Cuts ``items`` at the scheduled prune positions, folds each
+        window with one grouped accumulation on a numpy view of the
+        pool, and prunes between complete windows with the same
+        selection rule as :meth:`_prune` (count descending, ties to
+        earlier insertion) -- so the final pool is bit-identical to the
+        per-token reference loop.
+        """
+        length = len(items)
+        if length == 0:
+            return
+        period = self.prune_period
+        offset = self._pool_tokens % period
+        positions = np.arange(length, dtype=np.int64)
+        window = (offset + positions) // period
+        stride = int(items.max()) + 1
+        combined = window * stride + items
+        num_windows = int(window[-1]) + 1
+        nbins = num_windows * stride
+        if nbins <= (1 << 18):
+            # Group by (window, item) with counting instead of sorting:
+            # the combined key space is small, so one bincount plus a
+            # reversed position scatter (advanced-indexing assignment
+            # keeps the last write, so reversing keeps the first
+            # arrival) beats the O(n log n) ``np.unique``.
+            per_key = np.bincount(combined, minlength=nbins)
+            uniq = np.flatnonzero(per_key)
+            cnt = per_key[uniq]
+            first_at = np.empty(nbins, dtype=np.int64)
+            first_at[combined[::-1]] = positions[::-1]
+            first = first_at[uniq]
+        else:
+            uniq, first, cnt = np.unique(
+                combined, return_index=True, return_counts=True
+            )
+        item_of = uniq % stride
+        bounds = np.searchsorted(
+            uniq, np.arange(num_windows + 1) * stride
+        ).tolist()
+        # Windows 0..n_complete-1 end on a scheduled prune; a final
+        # partial window carries its arrivals into the next call.
+        n_complete = (length + offset) // period
+        pool = self._candidates
+        cap = self.capacity
+        pool_keys = np.fromiter(pool.keys(), dtype=np.int64, count=len(pool))
+        domain = int(max(stride, pool_keys.max() + 1 if len(pool) else 0))
+        if domain <= (1 << 16):
+            # Dense mode: the item domain is small enough to index
+            # directly, so each window is a handful of O(window) gathers
+            # and scatters with no per-window sort of the pool.  The
+            # scratch arrays are recomputable views of the dict -- a
+            # speed cache, not charged state.  ``ranks`` holds insertion
+            # ranks (``_ABSENT`` marks non-members); ``neg_counts``
+            # holds negated counts so ``lexsort``'s ascending order is
+            # count descending.
+            ranks = np.full(domain, _ABSENT, dtype=np.int64)
+            ranks[pool_keys] = np.arange(len(pool))
+            neg_counts = np.zeros(domain, dtype=np.int64)
+            neg_counts[pool_keys] = -np.fromiter(
+                pool.values(), dtype=np.int64, count=len(pool)
+            )
+            # Compact roster of current members (any order): pruning
+            # sorts this short array instead of scanning the domain.
+            roster = pool_keys
+            # Insertion rank = pool size + first-arrival position
+            # (positions are globally monotone across windows, so later
+            # windows always rank after earlier insertions).
+            rank_of = first + len(pool)
+            lexsort = np.lexsort
+            concatenate = np.concatenate
+            lo = bounds[0]
+            for index in range(num_windows):
+                hi = bounds[index + 1]
+                arrivals = item_of[lo:hi]
+                # Evicted slots are reset below, so one fused
+                # scatter-sub covers resumed, fresh, and known items
+                # alike (arrivals are distinct within a window).
+                neg_counts[arrivals] -= cnt[lo:hi]
+                missing = ranks[arrivals] == _ABSENT
+                fresh = arrivals[missing]
+                if len(fresh):
+                    ranks[fresh] = rank_of[lo:hi][missing]
+                    roster = concatenate((roster, fresh))
+                if len(roster) > cap and index < n_complete:
+                    selection = lexsort(
+                        (ranks[roster], neg_counts[roster])
+                    )
+                    ordered = roster[selection]
+                    evicted = ordered[cap:]
+                    ranks[evicted] = _ABSENT
+                    neg_counts[evicted] = 0
+                    roster = ordered[:cap]
+                lo = hi
+            kept = roster[np.argsort(ranks[roster], kind="stable")]
+            self._pool_tokens += length
+            self._candidates = dict(
+                zip(kept.tolist(), (-neg_counts[kept]).tolist())
+            )
+            return
+        # Sorted-key mode for large item domains: same windows, pool
+        # kept as parallel (keys, counts) arrays looked up by binary
+        # search.
+        keys = pool_keys
+        vals = np.fromiter(pool.values(), dtype=np.int64, count=len(pool))
+        for index in range(num_windows):
+            lo, hi = bounds[index], bounds[index + 1]
+            order = np.argsort(first[lo:hi], kind="stable")
+            arrivals = item_of[lo:hi][order]
+            arrival_counts = cnt[lo:hi][order]
+            if len(keys):
+                sorter = np.argsort(keys, kind="stable")
+                pos = np.searchsorted(keys, arrivals, sorter=sorter)
+                pos[pos == len(keys)] = 0
+                slots = sorter[pos]
+                known = keys[slots] == arrivals
+                vals[slots[known]] += arrival_counts[known]
+                fresh = ~known
+            else:
+                fresh = np.ones(len(arrivals), dtype=bool)
+            if fresh.any():
+                keys = np.concatenate((keys, arrivals[fresh]))
+                vals = np.concatenate((vals, arrival_counts[fresh]))
+            if index < n_complete and len(keys) > cap:
+                selection = np.argsort(-vals, kind="stable")
+                keep = np.sort(selection[:cap])
+                keys = keys[keep]
+                vals = vals[keep]
+        self._pool_tokens += length
+        self._candidates = dict(zip(keys.tolist(), vals.tolist()))
 
     def _accumulate(self, unique, first_seen, counts) -> None:
         """Fold deduplicated counts into the pool, first-arrival order."""
         candidates = self._candidates
-        for idx in np.argsort(first_seen, kind="stable"):
-            item = int(unique[idx])
-            candidates[item] = candidates.get(item, 0) + int(counts[idx])
+        # Known items commute, so only genuinely new items need the
+        # first-arrival ordering; sorting just those few beats an
+        # argsort of the whole batch.
+        new_items = []
+        for item, position, count in zip(
+            unique.tolist(), first_seen.tolist(), counts.tolist()
+        ):
+            if item in candidates:
+                candidates[item] += count
+            else:
+                new_items.append((position, item, count))
+        new_items.sort()
+        for _position, item, count in new_items:
+            candidates[item] = count
 
     def _prune(self) -> None:
         """Keep only the ``capacity`` largest current candidates.

@@ -82,6 +82,8 @@ class HyperLogLog(StreamingAlgorithm):
             self._registers[register] = rank
 
     def _process_batch(self, items: np.ndarray) -> None:
+        if len(items) == 0:
+            return
         hvs = self._hash(items)
         registers = (hvs >> self._value_bits).astype(np.int64)
         values = hvs & ((1 << self._value_bits) - 1)
@@ -93,7 +95,21 @@ class HyperLogLog(StreamingAlgorithm):
             np.floor(np.log2(values[nonzero])).astype(np.int64) + 1
         )
         ranks = self._value_bits - bit_lengths + 1
-        np.maximum.at(self._registers, registers, ranks.astype(np.int8))
+        # Sorted-key segmented max instead of np.maximum.at: group the
+        # updates by register with one argsort, reduce each segment with
+        # np.maximum.reduceat, and apply one gather-compare-scatter.
+        # Max is order-free, so this is bit-identical to the scalar path.
+        order = np.argsort(registers, kind="stable")
+        sorted_regs = registers[order]
+        sorted_ranks = ranks[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_regs[1:] != sorted_regs[:-1]))
+        )
+        touched = sorted_regs[starts]
+        maxima = np.maximum.reduceat(sorted_ranks, starts).astype(np.int8)
+        self._registers[touched] = np.maximum(
+            self._registers[touched], maxima
+        )
 
     def estimate(self) -> float:
         """Finalise; the distinct-count estimate."""

@@ -22,6 +22,7 @@ import heapq
 import numpy as np
 
 from repro.base import MergeIncompatibleError, StreamingAlgorithm
+from repro.engine.profile import PROFILER
 from repro.sketch.hashing import MERSENNE_P, KWiseHash
 
 __all__ = ["L0Sketch"]
@@ -53,6 +54,10 @@ class L0Sketch(StreamingAlgorithm):
         # Max-heap (via negation) of the smallest hash values seen.
         self._heap: list[int] = []
         self._members: set[int] = set()
+        # Lazy hash table over a small item domain: recomputable from
+        # the hash seed, so a CPython speed cache outside the space
+        # model (like the membership caches elsewhere).
+        self._hash_table: np.ndarray | None = None
 
     def _process(self, item) -> None:
         hv = self._hash(int(item))
@@ -70,9 +75,65 @@ class L0Sketch(StreamingAlgorithm):
         # that cannot enter the synopsis, insert the survivors.  State
         # matches the scalar path exactly (KMV keeps the k smallest
         # hash values regardless of arrival interleaving).
-        hvs = np.unique(self._hash(items))
+        self._ingest_hashed(self._hash(items))
+
+    def process_tabulated(self, items: np.ndarray, domain: int) -> None:
+        """Batch entry for callers that know ``items < domain``.
+
+        Evaluates the hash once over ``[0, domain)`` and serves every
+        subsequent batch by gather -- the same int64 Horner arithmetic,
+        so the synopsis is bit-identical to :meth:`process_batch`.
+        Domains too large to tabulate fall back to direct hashing.
+        """
+        self._check_open()
+        self._tokens_seen += len(items)
+        if domain > (1 << 16):
+            self._ingest_hashed(self._hash(items))
+            return
+        table = self._hash_table
+        if table is None or len(table) < domain:
+            table = self._hash(np.arange(domain, dtype=np.int64))
+            self._hash_table = table
+        self._ingest_hashed(table[items])
+
+    def _ingest_hashed(self, raw_hvs: np.ndarray) -> None:
+        if PROFILER.enabled:
+            t0 = PROFILER.clock()
+            try:
+                self._ingest_hashed_now(raw_hvs)
+            finally:
+                PROFILER.add("l0-insert", PROFILER.clock() - t0)
+            return
+        self._ingest_hashed_now(raw_hvs)
+
+    def _ingest_hashed_now(self, raw_hvs: np.ndarray) -> None:
         if len(self._heap) >= self.sketch_size:
-            hvs = hvs[hvs < -self._heap[0]]
+            # Threshold-filter first: once the synopsis is full most
+            # hashes are rejected, and filtering a raw array is far
+            # cheaper than sorting it.  No dedup pass is needed -- both
+            # insert paths below are idempotent per hash value, so the
+            # final KMV state (the k smallest distinct values seen) is
+            # the same with or without duplicates in ``hvs``.
+            raw_hvs = raw_hvs[raw_hvs < -self._heap[0]]
+        hvs = raw_hvs
+        if len(hvs) == 0:
+            return
+        if len(hvs) > 32:
+            # Large survivor sets: rebuild the synopsis as the k smallest
+            # of (current members  ∪  new values) in one sorted pass
+            # (``union1d`` dedups internally).  KMV state is exactly
+            # that set, so the rebuild is bit-identical to the
+            # incremental inserts.
+            merged = np.union1d(
+                np.fromiter(
+                    self._members, dtype=np.int64, count=len(self._members)
+                ),
+                hvs,
+            )[: self.sketch_size]
+            self._members = set(merged.tolist())
+            self._heap = [-hv for hv in merged.tolist()]
+            heapq.heapify(self._heap)
+            return
         for hv in hvs:
             hv = int(hv)
             if hv in self._members:

@@ -143,3 +143,40 @@ class TestStreamIO:
         path.write_text("0 1 2\n")
         with pytest.raises(ValueError, match="expected 'set element'"):
             EdgeStream.load(path)
+
+
+class TestBench:
+    def test_bench_prints_throughput(self, stream_file, capsys):
+        code = main(["bench", stream_file, "--k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tokens:" in out
+        assert "throughput:" in out
+        assert "plan: fused" in out
+        assert "profile" not in out
+
+    def test_bench_profile_breakdown(self, stream_file, capsys):
+        code = main(["bench", stream_file, "--k", "5", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile (per-kernel wall clock):" in out
+        assert "hash-eval" in out
+        assert "calls" in out
+
+    def test_bench_profile_stops_profiler(self, stream_file):
+        from repro.engine.profile import PROFILER
+
+        main(["bench", stream_file, "--k", "5", "--profile"])
+        assert not PROFILER.enabled
+
+    def test_bench_no_plan_matches_fused(self, stream_file, capsys):
+        main(["bench", stream_file, "--k", "5"])
+        fused = capsys.readouterr().out
+        main(["bench", stream_file, "--k", "5", "--no-plan"])
+        legacy = capsys.readouterr().out
+        pick = lambda text, tag: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith(tag)
+        ]
+        assert pick(fused, "estimate:") == pick(legacy, "estimate:")
+        assert pick(fused, "space_words:") == pick(legacy, "space_words:")
+        assert "plan: disabled" in legacy
