@@ -29,7 +29,12 @@ from functools import partial
 
 import pytest
 
-from repro import EdgeStream, ShardedStreamRunner, StreamRunner
+from repro import (
+    EdgeStream,
+    PersistentShardExecutor,
+    ShardedStreamRunner,
+    StreamRunner,
+)
 from repro.bench import ResultTable
 from repro.core.estimate import EstimateMaxCover
 
@@ -202,8 +207,36 @@ def test_dispatch_table(dispatch_stream, tmp_path, save_table):
             int(report.tokens_per_sec),
             round(value, 1),
         )
+
+    # The persistent pool over the same data plane, at steady state:
+    # the first submission pays worker construction, so throughput is
+    # the best of the remaining submissions through the resident pool.
+    with PersistentShardExecutor(
+        factory, workers=2, chunk_size=4096, dispatch="shared_memory"
+    ) as pool:
+        persistent_best = 0.0
+        for repeat in range(3):
+            merged, report = pool.run(stream)
+            if repeat > 0:
+                persistent_best = max(persistent_best, report.tokens_per_sec)
+    assert merged.estimate() == reference, "persistent"
+    baselines["persistent_tokens_per_sec"] = int(persistent_best)
+    table.add_row(
+        "shm (persistent)",
+        "full",
+        report.dispatch_bytes,
+        int(persistent_best),
+        round(merged.estimate(), 1),
+    )
+
     save_table("ingest_dispatch", table)
     _save_json("BENCH_throughput.json", baselines)
+
+    # Amortising pool spawn + construction must pay: the resident pool
+    # beats the per-run pool on the identical dispatch path on any box.
+    assert persistent_best > baselines["sharded_tokens_per_sec"][
+        "shared_memory"
+    ], "persistent steady-state throughput should beat the per-run pool"
 
     # Pickle payload scales with the stream; descriptors do not.
     assert measured[("pickle", "full")] > 1.8 * measured[("pickle", "half")]

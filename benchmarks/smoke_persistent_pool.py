@@ -1,0 +1,125 @@
+"""CI smoke check: the persistent pool wins, and changes no bits.
+
+Runs the same stream ``RUNS`` times through (a) a fresh
+``ShardedStreamRunner`` pool per run and (b) one resident
+``PersistentShardExecutor``, with real worker processes on both sides,
+and requires:
+
+* **bit-identical state** -- every persistent run's ``state_arrays``
+  must equal the per-run pool's byte for byte (same boundaries, same
+  merge order, so no canonicalisation is needed);
+* **throughput** -- total wall clock for the persistent pool's runs
+  must not exceed the per-run pools' (amortising spawn + construction
+  is the executor's reason to exist, and it holds on any box);
+* **scaling** (only on >= 4 CPU machines) -- steady-state persistent
+  throughput must reach ``workers / 2`` times the single-pass rate;
+  skipped with a message, not failed, on smaller boxes.
+
+Exits non-zero on any violation; designed to finish inside a minute.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_persistent_pool.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from functools import partial
+
+import numpy as np
+
+from repro import (
+    EdgeStream,
+    EstimateMaxCover,
+    PersistentShardExecutor,
+    ShardedStreamRunner,
+    StreamRunner,
+    planted_cover,
+)
+
+N, M, K, ALPHA = 300, 150, 6, 3.0
+WORKERS = 2
+RUNS = 4
+
+
+def _states_identical(left, right) -> bool:
+    left_state = left.state_arrays()
+    right_state = right.state_arrays()
+    if left_state.keys() != right_state.keys():
+        return False
+    return all(
+        np.array_equal(np.asarray(left_state[k]), np.asarray(right_state[k]))
+        for k in left_state
+    )
+
+
+def main() -> int:
+    workload = planted_cover(n=N, m=M, k=K, coverage_frac=0.9, seed=11)
+    stream = EdgeStream.from_system(workload.system, order="random", seed=7)
+    factory = partial(EstimateMaxCover, m=M, n=N, k=K, alpha=ALPHA, seed=7)
+
+    single = factory()
+    single_report = StreamRunner(chunk_size=512).run(single, stream)
+
+    per_run_start = time.perf_counter()
+    for _ in range(RUNS):
+        per_run_algo, _ = ShardedStreamRunner(
+            workers=WORKERS, chunk_size=512, backend="process"
+        ).run(factory, stream)
+    per_run_seconds = time.perf_counter() - per_run_start
+
+    steady_state = 0.0
+    with PersistentShardExecutor(
+        factory, workers=WORKERS, chunk_size=512
+    ) as pool:
+        # Workers (and their plans) are resident from here on; the
+        # timed window covers the RUNS submissions, which is how a
+        # long-lived pool is actually used.
+        persistent_start = time.perf_counter()
+        for run in range(RUNS):
+            persistent_algo, report = pool.run(stream)
+            if not _states_identical(per_run_algo, persistent_algo):
+                print(f"FAIL: run {run} state differs from the per-run pool")
+                return 1
+            if run > 0:
+                steady_state = max(steady_state, report.tokens_per_sec)
+    persistent_seconds = time.perf_counter() - persistent_start
+
+    print(
+        f"{RUNS} runs x {WORKERS} workers on {len(stream)} edges\n"
+        f"per-run pools:   {per_run_seconds:.2f}s total\n"
+        f"persistent pool: {persistent_seconds:.2f}s total "
+        f"(steady state {steady_state:.0f} tokens/sec)\n"
+        f"single pass:     {single_report.tokens_per_sec:.0f} tokens/sec\n"
+        f"state: bit-identical across all runs"
+    )
+
+    if persistent_seconds > per_run_seconds:
+        print(
+            "FAIL: the persistent pool should amortise spawn/construction "
+            "and beat fresh pools over repeated runs"
+        )
+        return 1
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        required = (WORKERS / 2.0) * single_report.tokens_per_sec
+        if steady_state < required:
+            print(
+                f"FAIL: steady state {steady_state:.0f} tokens/sec below "
+                f"{required:.0f} (workers/2 x single pass) on a "
+                f"{cpus}-core machine"
+            )
+            return 1
+        print(f"scaling: OK (>= workers/2 x single pass on {cpus} cores)")
+    else:
+        print(
+            f"scaling check skipped: needs >= 4 CPUs, machine has {cpus}"
+        )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

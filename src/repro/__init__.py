@@ -45,8 +45,10 @@ from repro.base import (
     StreamRunner,
 )
 from repro.parallel import (
+    PersistentShardExecutor,
     ShardedRunReport,
     ShardedStreamRunner,
+    ShardExecutionError,
     ShardTiming,
 )
 from repro.core import (
@@ -94,6 +96,8 @@ __all__ = [
     "ShardedStreamRunner",
     "ShardedRunReport",
     "ShardTiming",
+    "PersistentShardExecutor",
+    "ShardExecutionError",
     # core
     "Parameters",
     "UniverseReducer",

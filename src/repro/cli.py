@@ -31,6 +31,8 @@ Examples
     python -m repro generate planted --n 500 --m 250 --k 8 --out edges.txt
     python -m repro convert edges.txt edges.npz
     python -m repro estimate edges.npz --k 8 --alpha 4 --mmap --workers 4
+    python -m repro estimate edges.npz --k 8 --alpha 4 --mmap --workers 4 \\
+        --executor persistent
     python -m repro estimate edges.txt --k 8 --alpha 4
     python -m repro report edges.txt --k 8 --alpha 4
     python -m repro tradeoff edges.txt --k 8 --alphas 2 4 8 16
@@ -122,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             help="shard the stream over this many processes and merge "
             "the sketches (identical answer, vectorized engine only)",
+        )
+        p.add_argument(
+            "--executor",
+            choices=("per-run", "persistent"),
+            default="per-run",
+            help="worker-pool lifecycle when --workers > 1: spawn a "
+            "fresh pool for the run, or keep a resident pool whose "
+            "workers build their algorithm and evaluation plan once",
         )
 
     est = sub.add_parser("estimate", help="estimate optimal coverage")
@@ -230,6 +240,13 @@ def _run_maybe_sharded(args, factory, stream):
             raise SystemExit(
                 "--workers > 1 requires the vectorized engine"
             )
+        if getattr(args, "executor", "per-run") == "persistent":
+            from repro.parallel import PersistentShardExecutor
+
+            with PersistentShardExecutor(
+                factory, workers=workers, chunk_size=args.chunk_size
+            ) as pool:
+                return pool.run(stream)
         from repro.parallel import ShardedStreamRunner
 
         return ShardedStreamRunner(

@@ -1,4 +1,4 @@
-"""Sharded parallel stream execution over mergeable sketches.
+"""The per-run sharded executor: a fresh worker pool every ``run`` call.
 
 The paper's algorithms are built from *linear* (mergeable) sketches, and
 mergeability is exactly what makes the general streaming model
@@ -61,7 +61,14 @@ from repro.base import RunReport, StreamRunner
 from repro.engine.profile import PROFILER
 from repro.sketch.serialize import dumps_state, loads_state
 
-__all__ = ["ShardTiming", "ShardedRunReport", "ShardedStreamRunner"]
+__all__ = [
+    "ShardTiming",
+    "ShardedRunReport",
+    "ShardedStreamRunner",
+    "compute_shard_bounds",
+    "resolve_dispatch",
+    "dispatch_payload_bytes",
+]
 
 
 @dataclass(frozen=True)
@@ -96,7 +103,10 @@ class ShardedRunReport(RunReport):
     ``shared_memory``/``mmap``.  ``fallback`` is ``"single_pass"`` when
     the runner skipped the shard pipeline entirely (one effective
     worker, e.g. ``workers="auto"`` on a single-core host) and ``""``
-    otherwise.
+    otherwise.  ``executor`` records the worker-pool lifecycle that
+    produced the run: ``"per-run"`` (a fresh pool per ``run`` call,
+    :class:`ShardedStreamRunner`) or ``"persistent"`` (a resident pool,
+    :class:`~repro.parallel.persistent.PersistentShardExecutor`).
     """
 
     workers: int = 1
@@ -105,6 +115,81 @@ class ShardedRunReport(RunReport):
     dispatch: str = "pickle"
     dispatch_bytes: int = 0
     fallback: str = ""
+    executor: str = "per-run"
+
+
+def compute_shard_bounds(
+    total: int, workers: int, boundaries: list[int] | None = None
+) -> list[tuple[int, int]]:
+    """``[lo, hi)`` token ranges, one per worker, covering ``total``.
+
+    By default the split is balanced-contiguous; explicit interior
+    ``boundaries`` (sorted cut indices) override it, which the
+    equivalence tests use to probe pathologically uneven splits.  A
+    boundary list is rejected unless it yields exactly ``workers``
+    contiguous shards that cover ``[0, total)`` -- out-of-range or
+    unsorted cuts would silently drop or double-process tokens.
+    """
+    if boundaries is None:
+        return [
+            ((i * total) // workers, ((i + 1) * total) // workers)
+            for i in range(workers)
+        ]
+    cuts = [int(b) for b in boundaries]
+    if len(cuts) != workers - 1:
+        raise ValueError(
+            f"boundaries must supply exactly {workers - 1} interior cut "
+            f"indices for {workers} shards, got {len(cuts)}: {boundaries}"
+        )
+    if any(lo > hi for lo, hi in zip(cuts, cuts[1:])):
+        raise ValueError(
+            f"boundaries must be sorted ascending, got {boundaries}"
+        )
+    if cuts and (cuts[0] < 0 or cuts[-1] > total):
+        raise ValueError(
+            f"boundaries must lie in [0, {total}] so the shards cover "
+            f"the whole stream, got {boundaries}"
+        )
+    edges = [0, *cuts, total]
+    return list(zip(edges[:-1], edges[1:]))
+
+
+def resolve_dispatch(stream, dispatch: str, backend: str, workers: int) -> str:
+    """The concrete dispatch path for one run.
+
+    ``"auto"`` picks ``"mmap"`` for file-backed memory-mapped streams,
+    otherwise ``"shared_memory"`` on a multi-worker process backend and
+    ``"pickle"`` elsewhere; explicit values force a path.  ``"mmap"``
+    requires a stream loaded with ``EdgeStream.load_binary(..., mmap=True)``.
+    """
+    mmap_backed = bool(
+        getattr(stream, "is_mmap", False)
+        and getattr(stream, "source_path", None)
+    )
+    if dispatch == "mmap" and not mmap_backed:
+        raise ValueError(
+            "dispatch='mmap' requires a file-backed memory-mapped "
+            "stream (EdgeStream.load_binary(path, mmap=True))"
+        )
+    if dispatch != "auto":
+        return dispatch
+    if mmap_backed:
+        return "mmap"
+    if backend == "process" and workers > 1:
+        return "shared_memory"
+    return "pickle"
+
+
+def dispatch_payload_bytes(sources) -> int:
+    """Total bytes of shard payload shipped to workers.
+
+    O(stream) for ``arrays`` sources (the columns themselves travel),
+    O(1) per shard for ``shm``/``mmap`` descriptors.
+    """
+    return sum(
+        s[1].nbytes + s[2].nbytes if s[0] == "arrays" else len(pickle.dumps(s))
+        for s in sources
+    )
 
 
 def _resolve_shard(source):
@@ -262,41 +347,16 @@ class ShardedStreamRunner:
         By default the split is balanced-contiguous; explicit interior
         ``boundaries`` (sorted cut indices) override it, which the
         equivalence tests use to probe pathologically uneven splits.
+        Boundary lists that would not cover the stream are rejected
+        (see :func:`compute_shard_bounds`).
         """
-        if boundaries is None:
-            return [
-                (
-                    (i * total) // self.workers,
-                    ((i + 1) * total) // self.workers,
-                )
-                for i in range(self.workers)
-            ]
-        cuts = [0, *boundaries, total]
-        if sorted(cuts) != cuts or len(cuts) != self.workers + 1:
-            raise ValueError(
-                f"boundaries must be {self.workers - 1} sorted interior "
-                f"cut indices in [0, {total}], got {boundaries}"
-            )
-        return list(zip(cuts[:-1], cuts[1:]))
+        return compute_shard_bounds(total, self.workers, boundaries)
 
     def _resolve_dispatch(self, stream) -> str:
         """The concrete dispatch path for this run."""
-        mmap_backed = bool(
-            getattr(stream, "is_mmap", False)
-            and getattr(stream, "source_path", None)
+        return resolve_dispatch(
+            stream, self.dispatch, self.backend, self.workers
         )
-        if self.dispatch == "mmap" and not mmap_backed:
-            raise ValueError(
-                "dispatch='mmap' requires a file-backed memory-mapped "
-                "stream (EdgeStream.load_binary(path, mmap=True))"
-            )
-        if self.dispatch != "auto":
-            return self.dispatch
-        if mmap_backed:
-            return "mmap"
-        if self.backend == "process" and self.workers > 1:
-            return "shared_memory"
-        return "pickle"
 
     def run(self, factory, stream, boundaries: list[int] | None = None):
         """Shard ``stream``, run ``factory()`` per shard, merge, report.
@@ -368,12 +428,7 @@ class ShardedStreamRunner:
                     ("arrays", set_ids[lo:hi], elements[lo:hi])
                     for lo, hi in bounds
                 ]
-            dispatch_bytes = sum(
-                s[1].nbytes + s[2].nbytes
-                if s[0] == "arrays"
-                else len(pickle.dumps(s))
-                for s in sources
-            )
+            dispatch_bytes = dispatch_payload_bytes(sources)
             payloads = [
                 (i, factory, source, self.chunk_size)
                 for i, source in enumerate(sources)

@@ -31,12 +31,28 @@ import numpy as np
 
 __all__ = [
     "BINARY_SUFFIX",
+    "StreamFormatError",
     "detect_format",
     "load_columns",
     "save_columns",
 ]
 
 BINARY_SUFFIX = ".npz"
+
+
+class StreamFormatError(ValueError):
+    """A file is not a readable binary edge-stream archive.
+
+    Raised (instead of whatever ``zipfile``/``numpy`` internals would
+    propagate) for truncated files, non-zip bytes behind a ``.npz``
+    name, corrupted or missing members, malformed shape headers, and
+    mismatched column lengths -- every way on-disk bytes can fail to be
+    a stream, typed so callers can catch storage corruption without a
+    blanket ``except``.  Subclasses :class:`ValueError` for backwards
+    compatibility.  A missing file still raises
+    :class:`FileNotFoundError`.
+    """
+
 
 _ZIP_MAGIC = b"PK\x03\x04"
 # Fixed portion of a zip local file header; the two little-endian uint16
@@ -81,27 +97,51 @@ def load_columns(path, mmap: bool = False):
     ``np.memmap`` views into the archive (zero parse, lazy paging);
     otherwise they are eagerly loaded in-memory arrays.
     """
-    if mmap:
-        members = _mmap_members(path)
-    else:
-        with np.load(path) as archive:
-            members = {name: archive[name] for name in archive.files}
+    try:
+        if mmap:
+            members = _mmap_members(path)
+        else:
+            with np.load(path) as archive:
+                members = {name: archive[name] for name in archive.files}
+    except StreamFormatError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (ValueError, KeyError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        # Truncated archives, non-zip bytes, corrupted zip directories,
+        # and malformed .npy members all surface as one typed error.
+        raise StreamFormatError(
+            f"{path}: not a readable stream archive ({exc})"
+        ) from exc
     try:
         set_ids = members["set_ids"]
         elements = members["elements"]
         shape = members["shape"]
     except KeyError as exc:
-        raise ValueError(
+        raise StreamFormatError(
             f"{path}: not a stream archive (missing member {exc})"
         ) from None
-    if len(shape) != 2:
-        raise ValueError(f"{path}: malformed shape header {shape!r}")
+    if shape.ndim != 1 or len(shape) != 2:
+        raise StreamFormatError(
+            f"{path}: malformed shape header {shape!r}"
+        )
+    if set_ids.ndim != 1 or elements.ndim != 1:
+        raise StreamFormatError(
+            f"{path}: stream columns must be 1-d, got shapes "
+            f"{set_ids.shape} and {elements.shape}"
+        )
     if len(set_ids) != len(elements):
-        raise ValueError(
+        raise StreamFormatError(
             f"{path}: column length mismatch "
             f"({len(set_ids)} set ids vs {len(elements)} elements)"
         )
-    return set_ids, elements, int(shape[0]), int(shape[1])
+    try:
+        m, n = int(shape[0]), int(shape[1])
+    except (TypeError, ValueError) as exc:
+        raise StreamFormatError(
+            f"{path}: non-integer shape header {shape!r}"
+        ) from exc
+    return set_ids, elements, m, n
 
 
 def _mmap_members(path) -> dict:
@@ -118,7 +158,7 @@ def _mmap_members(path) -> dict:
                 continue
             name = info.filename[: -len(".npy")]
             if info.compress_type != zipfile.ZIP_STORED:
-                raise ValueError(
+                raise StreamFormatError(
                     f"{path}: member {info.filename!r} is compressed; "
                     "only np.savez (uncompressed) archives can be "
                     "memory-mapped -- re-save or load with mmap=False"
@@ -132,7 +172,7 @@ def _mmap_one(path, info) -> np.ndarray:
         handle.seek(info.header_offset)
         header = handle.read(_LOCAL_HEADER_SIZE)
         if header[:4] != _ZIP_MAGIC:
-            raise ValueError(
+            raise StreamFormatError(
                 f"{path}: corrupt local header for {info.filename!r}"
             )
         name_len = int.from_bytes(header[26:28], "little")
@@ -144,12 +184,12 @@ def _mmap_one(path, info) -> np.ndarray:
         elif version == (2, 0):
             shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
         else:
-            raise ValueError(
+            raise StreamFormatError(
                 f"{path}: unsupported npy format version {version} "
                 f"in member {info.filename!r}"
             )
         if fortran:
-            raise ValueError(
+            raise StreamFormatError(
                 f"{path}: Fortran-ordered member {info.filename!r} "
                 "cannot be memory-mapped as a stream column"
             )

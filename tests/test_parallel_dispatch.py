@@ -21,6 +21,7 @@ from repro import (
     StreamRunner,
     planted_cover,
 )
+from repro.parallel import compute_shard_bounds
 
 M, N, K, ALPHA = 60, 120, 4, 3.0
 FACTORY = partial(EstimateMaxCover, m=M, n=N, k=K, alpha=ALPHA, seed=7)
@@ -98,6 +99,59 @@ class TestShardBounds:
         ).run(FACTORY, empty)
         assert report.tokens == 0
         assert merged.estimate() == fresh.estimate()
+
+
+class TestConfigEdgeCases:
+    """Constructor and boundary validation fails loudly and specifically."""
+
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_nonpositive_workers_rejected(self, workers):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedStreamRunner(workers=workers)
+
+    def test_float_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedStreamRunner(workers=2.5)
+
+    def test_wrong_count_message_names_the_counts(self):
+        """The error must say how many cuts were expected and given, so
+        an off-by-one in a driver script is a one-read fix."""
+        with pytest.raises(ValueError, match="exactly 2"):
+            compute_shard_bounds(10, 3, boundaries=[5])
+
+    def test_unsorted_message_says_sorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            compute_shard_bounds(10, 3, boundaries=[7, 3])
+
+    def test_non_covering_message_says_cover(self):
+        with pytest.raises(ValueError, match="cover"):
+            compute_shard_bounds(10, 2, boundaries=[11])
+        with pytest.raises(ValueError, match="cover"):
+            compute_shard_bounds(10, 2, boundaries=[-1])
+
+    def test_balanced_bounds_partition_the_stream(self):
+        for total, workers in [(0, 3), (2, 5), (10, 3), (100, 7)]:
+            bounds = compute_shard_bounds(total, workers)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == total
+            assert all(lo <= hi for lo, hi in bounds)
+            assert all(
+                bounds[i][1] == bounds[i + 1][0]
+                for i in range(len(bounds) - 1)
+            )
+
+    def test_explicit_boundaries_round_trip(self):
+        assert compute_shard_bounds(10, 3, boundaries=[2, 7]) == [
+            (0, 2),
+            (2, 7),
+            (7, 10),
+        ]
+
+    def test_report_labels_the_per_run_executor(self, small_stream):
+        _, report = ShardedStreamRunner(workers=2, backend="serial").run(
+            FACTORY, small_stream
+        )
+        assert report.executor == "per-run"
 
 
 class TestDispatchEquivalence:

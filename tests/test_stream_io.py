@@ -4,16 +4,29 @@ The binary round-trip contract: ``save_binary`` -> ``load_binary``
 preserves the shape header and the exact arrival order (bit-identical
 columns), in both the eager and the memory-mapped loading modes, for
 every arrival order including duplicate-bearing streams.
+
+On the failure side, every way on-disk bytes can fail to be a stream --
+non-zip bytes, truncation at any offset, corrupted members, malformed
+headers, mismatched columns -- must surface as the typed
+:class:`StreamFormatError`, never a raw ``zipfile``/``numpy`` internal
+exception (fuzzed below).
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cli import main
 from repro.streams.edge_stream import ARRIVAL_ORDERS, EdgeStream
-from repro.streams.io import detect_format, load_columns, save_columns
+from repro.streams.io import (
+    StreamFormatError,
+    detect_format,
+    load_columns,
+    save_columns,
+)
 
 
 @pytest.fixture()
@@ -119,6 +132,163 @@ class TestColumnsAPI:
         # ... but eager loading still works.
         _ids, _els, m, n = load_columns(path)
         assert (m, n) == (4, 4)
+
+
+def _good_archive(tmp_path, tokens: int = 16):
+    path = tmp_path / "good.npz"
+    save_columns(
+        path,
+        np.arange(tokens, dtype=np.int64) % 5,
+        np.arange(tokens, dtype=np.int64),
+        5,
+        max(1, tokens),
+    )
+    return path
+
+
+class TestCorruptionFuzz:
+    """Broken bytes always raise ``StreamFormatError``, both load modes."""
+
+    MMAP = pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+
+    def test_error_type_is_a_value_error(self):
+        # The pre-existing except ValueError call sites keep working.
+        assert issubclass(StreamFormatError, ValueError)
+
+    @MMAP
+    def test_wrong_magic_rejected(self, tmp_path, mmap):
+        path = tmp_path / "fake.npz"
+        path.write_bytes(b"definitely not a zip archive" * 4)
+        with pytest.raises(StreamFormatError, match="stream archive"):
+            load_columns(path, mmap=mmap)
+
+    @MMAP
+    def test_empty_file_rejected(self, tmp_path, mmap):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(StreamFormatError):
+            load_columns(path, mmap=mmap)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_columns(tmp_path / "nope.npz")
+
+    @MMAP
+    def test_truncation_at_every_scale_rejected(self, tmp_path, mmap):
+        """Cut the archive anywhere -- the zip directory lives at the
+        end, so every strict prefix is detectably broken."""
+        path = _good_archive(tmp_path)
+        data = path.read_bytes()
+        cut_points = {1, 4, len(data) // 2, len(data) - 1}
+        for cut in sorted(cut_points):
+            truncated = tmp_path / f"cut{cut}.npz"
+            truncated.write_bytes(data[:cut])
+            with pytest.raises(StreamFormatError):
+                load_columns(truncated, mmap=mmap)
+
+    @MMAP
+    def test_byte_corruption_never_leaks_internals(self, tmp_path, mmap):
+        """Flipping any single byte either still parses (payload bytes
+        are just data) or raises the typed error -- nothing else."""
+        path = _good_archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        rng = np.random.default_rng(0)
+        for offset in rng.choice(len(data), size=40, replace=False):
+            mutated = bytearray(data)
+            mutated[offset] ^= 0xFF
+            target = tmp_path / "mut.npz"
+            target.write_bytes(bytes(mutated))
+            try:
+                load_columns(target, mmap=mmap)
+            except StreamFormatError:
+                pass
+
+    @MMAP
+    def test_missing_member_rejected(self, tmp_path, mmap):
+        path = tmp_path / "partial.npz"
+        np.savez(path, set_ids=np.arange(3, dtype=np.int64))
+        with pytest.raises(StreamFormatError, match="not a stream archive"):
+            load_columns(path, mmap=mmap)
+
+    @MMAP
+    def test_malformed_shape_header_rejected(self, tmp_path, mmap):
+        path = tmp_path / "shape3.npz"
+        np.savez(
+            path,
+            set_ids=np.arange(3, dtype=np.int64),
+            elements=np.arange(3, dtype=np.int64),
+            shape=np.asarray([1, 2, 3], dtype=np.int64),
+        )
+        with pytest.raises(StreamFormatError, match="shape header"):
+            load_columns(path, mmap=mmap)
+
+    @MMAP
+    def test_non_1d_columns_rejected(self, tmp_path, mmap):
+        path = tmp_path / "matrix.npz"
+        np.savez(
+            path,
+            set_ids=np.zeros((2, 3), dtype=np.int64),
+            elements=np.arange(6, dtype=np.int64),
+            shape=np.asarray([2, 3], dtype=np.int64),
+        )
+        with pytest.raises(StreamFormatError, match="1-d"):
+            load_columns(path, mmap=mmap)
+
+    @MMAP
+    def test_column_length_mismatch_rejected(self, tmp_path, mmap):
+        path = tmp_path / "ragged.npz"
+        np.savez(
+            path,
+            set_ids=np.arange(3, dtype=np.int64),
+            elements=np.arange(4, dtype=np.int64),
+            shape=np.asarray([5, 5], dtype=np.int64),
+        )
+        with pytest.raises(StreamFormatError, match="length mismatch"):
+            load_columns(path, mmap=mmap)
+
+    def test_compressed_error_is_typed(self, tmp_path):
+        path = tmp_path / "z.npz"
+        np.savez_compressed(
+            path,
+            set_ids=np.arange(4, dtype=np.int64),
+            elements=np.arange(4, dtype=np.int64),
+            shape=np.asarray([4, 4], dtype=np.int64),
+        )
+        with pytest.raises(StreamFormatError, match="compressed"):
+            load_columns(path, mmap=True)
+
+
+class TestRoundTripProperty:
+    """Hypothesis: arbitrary edge lists survive the binary round trip."""
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=19),
+            ),
+            max_size=50,
+        ),
+        mmap=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_edges(self, tmp_path_factory, edges, mmap):
+        tmp_path = tmp_path_factory.mktemp("rt")
+        stream = EdgeStream(edges, m=10, n=20)
+        path = tmp_path / "s.npz"
+        stream.save_binary(path)
+        loaded = EdgeStream.load_binary(path, mmap=mmap)
+        assert loaded.edges == stream.edges
+        assert (loaded.m, loaded.n) == (10, 20)
+
+    @pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+    def test_single_edge_stream(self, tmp_path, mmap):
+        stream = EdgeStream([(4, 17)], m=5, n=18)
+        path = tmp_path / "one.npz"
+        stream.save_binary(path)
+        loaded = EdgeStream.load_binary(path, mmap=mmap)
+        assert loaded.edges == [(4, 17)]
+        assert (loaded.m, loaded.n) == (5, 18)
 
 
 class TestDetection:
