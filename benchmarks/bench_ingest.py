@@ -164,6 +164,20 @@ def test_dispatch_table(dispatch_stream, tmp_path, save_table):
     single_report = StreamRunner(chunk_size=4096).run(single, stream)
     reference = single.estimate()
 
+    # One single-pass row per runnable array backend; every backend must
+    # reproduce the numpy estimate exactly (the backend layer is an
+    # execution strategy, never a different algorithm).
+    from repro.engine.backend import available_backends
+
+    backend_rows: dict = {}
+    for backend_name in available_backends():
+        algo = factory()
+        report = StreamRunner(
+            chunk_size=4096, array_backend=backend_name
+        ).run(algo, stream)
+        assert algo.estimate() == reference, backend_name
+        backend_rows[backend_name] = int(report.tokens_per_sec)
+
     table = ResultTable(
         ["dispatch", "stream", "payload bytes", "tokens/sec", "estimate"],
         title=f"E17b: shard dispatch at 2 workers ({len(stream)} edges, "
@@ -175,9 +189,14 @@ def test_dispatch_table(dispatch_stream, tmp_path, save_table):
         "workers": 2,
         "cpu_count": os.cpu_count(),
         "single_pass_tokens_per_sec": int(single_report.tokens_per_sec),
+        "backend_tokens_per_sec": backend_rows,
         "dispatch_bytes": {},
         "sharded_tokens_per_sec": {},
     }
+    for backend_name, rate in backend_rows.items():
+        table.add_row(
+            f"single ({backend_name})", "full", 0, rate, round(reference, 1)
+        )
 
     cases = [
         ("pickle", stream, "full"),

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.backend import is_backend_array, resolve_backend, use_backend
+
 __all__ = [
     "StreamConsumedError",
     "MergeIncompatibleError",
@@ -141,7 +143,12 @@ class StreamingAlgorithm(abc.ABC):
         vectorised kernels; the default falls back to the scalar path.
         """
         self._check_open()
-        arrays = [np.asarray(c, dtype=np.int64) for c in columns]
+        # Backend arrays (device tensors included) pass through as-is;
+        # everything else is normalised to int64 ndarrays.
+        arrays = [
+            c if is_backend_array(c) else np.asarray(c, dtype=np.int64)
+            for c in columns
+        ]
         if not arrays or len(arrays[0]) == 0:
             return self
         length = len(arrays[0])
@@ -380,6 +387,9 @@ class RunReport:
         ``"vectorized"`` or ``"scalar"``.
     chunk_size:
         The runner's configured chunk size.
+    backend:
+        Name of the array backend the pass ran under (``"numpy"``,
+        ``"torch-cpu"``, ``"torch-cuda"``).
     """
 
     tokens: int
@@ -387,6 +397,7 @@ class RunReport:
     seconds: float
     path: str
     chunk_size: int
+    backend: str = "numpy"
 
     @property
     def tokens_per_sec(self) -> float:
@@ -421,11 +432,22 @@ class StreamRunner:
         ``"vectorized"`` routes chunks through ``process_batch``;
         ``"scalar"`` replays the per-token ``process`` reference path
         (the implementation the equivalence tests trust).
+    array_backend:
+        Array backend the pass runs under: a name (``"numpy"``,
+        ``"torch"``, ``"auto"``), an :class:`~repro.engine.backend.ArrayBackend`
+        instance, or ``None`` to pin whatever backend is active when the
+        runner is constructed.  The whole drive loop executes with this
+        backend active, so lazily built evaluation plans pin it.
     """
 
     PATHS = ("vectorized", "scalar")
 
-    def __init__(self, chunk_size: int = 4096, path: str = "vectorized"):
+    def __init__(
+        self,
+        chunk_size: int = 4096,
+        path: str = "vectorized",
+        array_backend=None,
+    ):
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if path not in self.PATHS:
@@ -434,6 +456,7 @@ class StreamRunner:
             )
         self.chunk_size = int(chunk_size)
         self.path = path
+        self.array_backend = resolve_backend(array_backend)
 
     def run(self, algo: StreamingAlgorithm, stream) -> RunReport:
         """Feed every token of ``stream`` to ``algo``; timing report.
@@ -443,6 +466,10 @@ class StreamRunner:
         and are fed as pure slices of their columns -- zero copies, no
         buffering, no per-edge Python work.
         """
+        with use_backend(self.array_backend):
+            return self._run(algo, stream)
+
+    def _run(self, algo: StreamingAlgorithm, stream) -> RunReport:
         start = time.perf_counter()
         tokens = 0
         chunks = 0
@@ -482,6 +509,7 @@ class StreamRunner:
             seconds=time.perf_counter() - start,
             path=self.path,
             chunk_size=self.chunk_size,
+            backend=self.array_backend.name,
         )
 
     @staticmethod

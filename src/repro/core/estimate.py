@@ -183,10 +183,13 @@ class EstimateMaxCover(StreamingAlgorithm):
         if planning_enabled():
             ctx = self._ensure_plan().begin_chunk(set_ids, elements)
             if ctx is not None:
+                # ctx.set_ids is the chunk's set column on the plan's
+                # array backend (one transfer); each branch's reduced
+                # element column is likewise backend-resident.
                 for slot, (_z, _reducer, oracle) in zip(
                     self._branch_slots, self._branches
                 ):
-                    oracle._ingest_planned(set_ids, ctx.values(slot), ctx)
+                    oracle._ingest_planned(ctx.set_ids, ctx.values(slot), ctx)
                 return
         reduced = self._reducer_bank.map_all(elements)
         for row, (_z, _reducer, oracle) in zip(reduced, self._branches):

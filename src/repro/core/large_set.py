@@ -49,6 +49,7 @@ from repro.base import (
     unpack_state,
 )
 from repro.core.parameters import Parameters
+from repro.engine.backend import backend_of
 from repro.engine.profile import PROFILER
 from repro.sketch.contributing import F2Contributing
 from repro.sketch.element_sampling import ElementSampler
@@ -226,9 +227,10 @@ class LargeSetRun(StreamingAlgorithm):
         if ss_mask.any():
             kept_sids = sids[ss_mask]
             kept_elems = elements[ss_mask]
-            for sid in np.unique(kept_sids):
+            xb = backend_of(kept_sids)
+            for sid in xb.tolist(xb.unique_values(kept_sids)):
                 self._superset_sketch(int(sid)).process_batch(
-                    kept_elems[kept_sids == sid]
+                    kept_elems[kept_sids == int(sid)]
                 )
 
     # -- fused-plan hooks ---------------------------------------------------
@@ -271,19 +273,20 @@ class LargeSetRun(StreamingAlgorithm):
             sids = ctx.values(self._partition_slot)
             if not len(sids):
                 return
+        xb = ctx.plan.backend
         profiling = PROFILER.enabled
         t0 = PROFILER.clock() if profiling else 0.0
-        order = np.argsort(sids, kind="stable")
+        order = xb.argsort_stable(sids)
         sorted_sids = sids[order]
         length = len(sorted_sids)
-        starts = np.concatenate(
+        starts = xb.concatenate(
             (
-                np.zeros(1, dtype=np.int64),
-                np.flatnonzero(sorted_sids[1:] != sorted_sids[:-1]) + 1,
+                xb.zeros(1),
+                xb.flatnonzero(sorted_sids[1:] != sorted_sids[:-1]) + 1,
             )
         )
         present = sorted_sids[starts]
-        counts = np.diff(np.append(starts, length))
+        counts = xb.diff(xb.concatenate((starts, xb.full(1, length))))
         first_pos = order[starts]
         if profiling:
             PROFILER.add("group-split", PROFILER.clock() - t0)
@@ -291,22 +294,27 @@ class LargeSetRun(StreamingAlgorithm):
         self._cntr_large.ingest_grouped(present, first_pos, counts, sids)
         ss_slot = self._ss_slot
         if ss_slot.trivial:
-            sampled = np.arange(len(present))
+            sampled = xb.arange(len(present))
         else:
             table = ss_slot.mask_table()
             if table is not None:
-                sampled = np.flatnonzero(table[present])
+                sampled = xb.flatnonzero(table[present])
             else:
-                sampled = np.flatnonzero(
+                sampled = xb.flatnonzero(
                     self._superset_sampler.contains_many(present)
                 )
         if len(sampled):
-            ends = np.append(starts[1:], length)
+            # The per-superset dispatch loop runs on the host: sampled
+            # group bounds are a handful of scalars per chunk.
+            ends = xb.concatenate((starts[1:], xb.full(1, length)))
             sorted_elems = elements[order]
             domain = self.params.n
-            for i in sampled:
-                self._superset_sketch(int(present[i])).process_tabulated(
-                    sorted_elems[starts[i] : ends[i]], domain
+            lo = xb.tolist(starts)
+            hi = xb.tolist(ends)
+            pres = xb.tolist(present)
+            for i in xb.tolist(sampled):
+                self._superset_sketch(int(pres[i])).process_tabulated(
+                    sorted_elems[lo[i] : hi[i]], domain
                 )
 
     # -- merging / state ----------------------------------------------------

@@ -144,7 +144,9 @@ class Oracle(StreamingAlgorithm):
                 self._plan = plan
             ctx = self._plan.begin_chunk(set_ids, elements)
             if ctx is not None:
-                self._process_planned(set_ids, elements, ctx)
+                # Hand down the context's columns (not the raw chunk):
+                # they live on the plan's array backend, transferred once.
+                self._process_planned(ctx.set_ids, ctx.elements, ctx)
                 return
         # The chunk was validated once at the top-level entry; hand the
         # same arrays to each subroutine without re-conversion.

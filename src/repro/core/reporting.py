@@ -44,6 +44,7 @@ from repro.base import (
 from repro.core.large_set import LargeSet
 from repro.core.parameters import Parameters
 from repro.core.small_set import SmallSet
+from repro.engine.backend import backend_of
 from repro.engine.plan import EvalPlan, planning_enabled
 from repro.sketch.hashing import (
     KWiseHash,
@@ -150,7 +151,8 @@ class ReportingLargeCommon(StreamingAlgorithm):
             kept_sets, kept_elems = set_ids[mask], elements[mask]
             groups = self._group_hashes[layer](kept_sets)
             layer_l0 = self._group_l0[layer]
-            for group in np.unique(groups):
+            xb = backend_of(groups)
+            for group in xb.tolist(xb.unique_values(groups)):
                 group = int(group)
                 sketch = layer_l0.get(group)
                 if sketch is None:
@@ -187,7 +189,8 @@ class ReportingLargeCommon(StreamingAlgorithm):
             kept_elems = elements[mask]
             groups = group_slot.values(ctx)[mask]
             layer_l0 = self._group_l0[layer]
-            for group in np.unique(groups):
+            xb = backend_of(groups)
+            for group in xb.tolist(xb.unique_values(groups)):
                 group = int(group)
                 sketch = layer_l0.get(group)
                 if sketch is None:
@@ -367,11 +370,17 @@ class MaxCoverReporter(StreamingAlgorithm):
         if planning_enabled():
             ctx = self._ensure_plan().begin_chunk(set_ids, elements)
             if ctx is not None:
-                self._large_common._ingest_planned(set_ids, elements, ctx)
-                self._large_set._ingest_planned(set_ids, elements, ctx)
+                # Hand down the context's backend-resident columns; the
+                # raw chunk stays on the host.
+                self._large_common._ingest_planned(
+                    ctx.set_ids, ctx.elements, ctx
+                )
+                self._large_set._ingest_planned(
+                    ctx.set_ids, ctx.elements, ctx
+                )
                 if self._small_set is not None:
                     self._small_set._ingest_planned(
-                        set_ids, elements, ctx
+                        ctx.set_ids, ctx.elements, ctx
                     )
                 return
         self._large_common.process_batch(set_ids, elements)

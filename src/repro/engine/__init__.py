@@ -9,23 +9,74 @@ shared :class:`~repro.engine.plan.EvalPlan` that deduplicates identical
 with one Horner pass, and memoises every per-chunk result so nested
 composites reuse parent evaluations instead of re-hashing.
 
+:mod:`repro.engine.backend` is the array-backend shim those passes run
+on: a numpy reference implementation and a torch (CPU/CUDA) port of the
+same primitives, selected per run and bit-identical by contract.
+
 :mod:`repro.engine.profile` carries the opt-in per-kernel timer behind
 ``repro bench --profile``.
+
+``plan``/``profile`` are imported lazily (PEP 562): the low-level
+hashing module imports ``repro.engine.backend``, and an eager ``plan``
+import here would close an import cycle back onto ``repro.sketch``.
 """
 
-from repro.engine.plan import (
-    ChunkContext,
-    EvalPlan,
-    planning_disabled,
-    planning_enabled,
+from repro.engine.backend import (
+    BACKEND_CHOICES,
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    TorchBackend,
+    active_backend,
+    available_backends,
+    backend_of,
+    cuda_available,
+    get_backend,
+    resolve_backend,
+    set_active_backend,
+    torch_available,
+    use_backend,
 )
-from repro.engine.profile import PROFILER, KernelProfiler
 
 __all__ = [
+    "ArrayBackend",
+    "BACKEND_CHOICES",
+    "BackendUnavailableError",
     "ChunkContext",
     "EvalPlan",
     "KernelProfiler",
+    "NumpyBackend",
     "PROFILER",
+    "TorchBackend",
+    "active_backend",
+    "available_backends",
+    "backend_of",
+    "cuda_available",
+    "get_backend",
     "planning_disabled",
     "planning_enabled",
+    "resolve_backend",
+    "set_active_backend",
+    "torch_available",
+    "use_backend",
 ]
+
+_LAZY = {
+    "ChunkContext": "repro.engine.plan",
+    "EvalPlan": "repro.engine.plan",
+    "planning_disabled": "repro.engine.plan",
+    "planning_enabled": "repro.engine.plan",
+    "PROFILER": "repro.engine.profile",
+    "KernelProfiler": "repro.engine.profile",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value

@@ -40,8 +40,7 @@ from __future__ import annotations
 
 import contextlib
 
-import numpy as np
-
+from repro.engine.backend import resolve_backend
 from repro.engine.profile import PROFILER
 from repro.sketch.hashing import KWiseHash, KWiseHashBank, SampledSet
 
@@ -145,16 +144,16 @@ class Slot:
         if self._mask_table is None:
             domain = self.column.domain
             if self.trivial and domain is not None and domain <= self.plan.table_cap:
-                self._mask_table = np.ones(domain, dtype=bool)
+                self._mask_table = self.plan.backend.ones_bool(domain)
             elif self._table is not None:
                 self._mask_table = self._table == 0
         return self._mask_table
 
-    def values(self, ctx: "ChunkContext") -> np.ndarray:
+    def values(self, ctx: "ChunkContext"):
         """Per-position hash values for the context's chunk."""
         return ctx.values(self)
 
-    def mask(self, ctx: "ChunkContext") -> np.ndarray:
+    def mask(self, ctx: "ChunkContext"):
         """Per-position ``h(x) == 0`` membership mask for the chunk."""
         return ctx.mask(self)
 
@@ -180,8 +179,19 @@ class EvalPlan:
     ingest path.
     """
 
-    def __init__(self, set_domain, elem_domain, table_cap=TABLE_DOMAIN_CAP):
+    def __init__(
+        self,
+        set_domain,
+        elem_domain,
+        table_cap=TABLE_DOMAIN_CAP,
+        backend=None,
+    ):
         self.table_cap = int(table_cap)
+        # The plan pins its array backend at construction (plans are
+        # built lazily at the first chunk, after runners/workers have
+        # selected one); every table, Horner pass, and per-chunk column
+        # below lives on it.
+        self.backend = resolve_backend(backend)
         self._columns: list[Column] = []
         self.sets = self._add_column("sets", set_domain)
         self.elems = self._add_column("elems", elem_domain)
@@ -263,14 +273,15 @@ class EvalPlan:
             grouped.setdefault(
                 (slot.column.index, slot.hash.degree), []
             ).append(slot)
+        xb = self.backend
         for (col_index, _degree), slots in grouped.items():
             column = self._columns[col_index]
             bank = KWiseHashBank([s.hash for s in slots])
             domain = column.domain
             if domain is not None and domain <= self.table_cap:
-                rows = bank.eval_many(np.arange(domain, dtype=np.int64))
+                rows = bank.eval_many(xb.arange(domain), xb)
                 for slot, row in zip(slots, rows):
-                    slot._table = np.ascontiguousarray(row)
+                    slot._table = xb.ascontiguous(row)
                 self._mark_checked(column)
             else:
                 group = _Group(bank, slots)
@@ -300,7 +311,10 @@ class EvalPlan:
         self.freeze()
         if len(set_ids) and not self._in_domain(set_ids, elements):
             return None
-        return ChunkContext(self, set_ids, elements)
+        # One host->device transfer per chunk: every downstream planned
+        # consumer reads the context's columns, never the host arrays.
+        xb = self.backend
+        return ChunkContext(self, xb.ensure(set_ids), xb.ensure(elements))
 
     def _in_domain(self, set_ids, elements) -> bool:
         for column, data in ((self.sets, set_ids), (self.elems, elements)):
@@ -335,13 +349,13 @@ class ChunkContext:
         self._masks: dict = {}
         self._true = None
 
-    def all_true(self) -> np.ndarray:
+    def all_true(self):
         """Shared all-``True`` mask for rate-1 samplers."""
         if self._true is None:
-            self._true = np.ones(self.length, dtype=bool)
+            self._true = self.plan.backend.ones_bool(self.length)
         return self._true
 
-    def column_values(self, column: Column) -> np.ndarray:
+    def column_values(self, column: Column):
         """Per-position values of a raw or derived column."""
         if column.kind == "sets":
             return self.set_ids
@@ -349,18 +363,19 @@ class ChunkContext:
             return self.elements
         return self.values(column.defining_slot)
 
-    def values(self, slot: Slot) -> np.ndarray:
+    def values(self, slot: Slot):
         """Memoised per-position values of ``slot`` on this chunk."""
         out = self._values.get(slot.index)
         if out is not None:
             return out
+        xb = self.plan.backend
         profiling = PROFILER.enabled
         t0 = PROFILER.clock() if profiling else 0.0
         if slot.trivial:
-            out = np.zeros(self.length, dtype=np.int64)
+            out = xb.zeros(self.length)
             self._values[slot.index] = out
         elif slot._table is not None:
-            out = slot._table[self.column_values(slot.column)]
+            out = xb.take(slot._table, self.column_values(slot.column))
             self._values[slot.index] = out
         else:
             out = self._eval_group(slot)
@@ -368,16 +383,16 @@ class ChunkContext:
             PROFILER.add("hash-eval", PROFILER.clock() - t0)
         return out
 
-    def _eval_group(self, slot: Slot) -> np.ndarray:
+    def _eval_group(self, slot: Slot):
         """Fill every same-group slot from one mega-bank Horner pass."""
         group = self.plan._group_of[slot.index]
         xs = self.column_values(slot.column)
-        rows = group.bank.eval_many(xs)
+        rows = group.bank.eval_many(xs, self.plan.backend)
         for member, row in zip(group.slots, rows):
             self._values.setdefault(member.index, row)
         return self._values[slot.index]
 
-    def mask(self, slot: Slot) -> np.ndarray:
+    def mask(self, slot: Slot):
         """Memoised ``h(x) == 0`` membership mask of ``slot``."""
         out = self._masks.get(slot.index)
         if out is not None:
@@ -389,7 +404,9 @@ class ChunkContext:
             if table is not None:
                 profiling = PROFILER.enabled
                 t0 = PROFILER.clock() if profiling else 0.0
-                out = table[self.column_values(slot.column)]
+                out = self.plan.backend.take(
+                    table, self.column_values(slot.column)
+                )
                 if profiling:
                     PROFILER.add("hash-eval", PROFILER.clock() - t0)
             else:

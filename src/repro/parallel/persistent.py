@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.backend import resolve_backend, use_backend
 from repro.engine.profile import PROFILER
 from repro.parallel.sharded import (
     ShardTiming,
@@ -91,16 +92,23 @@ class ShardExecutionError(RuntimeError):
     """
 
 
-def _persistent_worker(index, factory, chunk_size, tasks, results):
+def _persistent_worker(
+    index, factory, chunk_size, tasks, results, backend_name="numpy"
+):
     """Worker main loop: construct once, then serve shard/collect tasks.
 
     Module-level so it pickles under any start method.  The algorithm
     (and therefore its fused evaluation plan) is constructed exactly
     once; a pristine state snapshot taken before the first token is
     restored after every ``collect`` so submissions never see each
-    other's state.  Every processed chunk emits a heartbeat.
+    other's state.  Every processed chunk emits a heartbeat.  The
+    coordinator's array backend arrives by name and stays active for
+    the worker's whole lifetime, so the resident plan pins it.
     """
     try:
+        from repro.engine.backend import set_active_backend
+
+        set_active_backend(backend_name)
         algo = factory()
         pristine = dumps_state(algo)
     except BaseException:  # noqa: BLE001 - shipped to the coordinator
@@ -158,10 +166,12 @@ class _SerialWorker:
     format blob then restores the pristine snapshot.
     """
 
-    def __init__(self, index, factory, chunk_size):
+    def __init__(self, index, factory, chunk_size, array_backend=None):
         self.index = index
         self._chunk_size = chunk_size
-        self._algo = factory()
+        self._backend = resolve_backend(array_backend)
+        with use_backend(self._backend):
+            self._algo = factory()
         self._pristine = dumps_state(self._algo)
 
     def run_shard(self, source):
@@ -170,12 +180,13 @@ class _SerialWorker:
             tokens = len(set_ids)
             start = time.perf_counter()
             chunks = 0
-            for lo in range(0, tokens, self._chunk_size):
-                self._algo.process_batch(
-                    set_ids[lo : lo + self._chunk_size],
-                    elements[lo : lo + self._chunk_size],
-                )
-                chunks += 1
+            with use_backend(self._backend):
+                for lo in range(0, tokens, self._chunk_size):
+                    self._algo.process_batch(
+                        set_ids[lo : lo + self._chunk_size],
+                        elements[lo : lo + self._chunk_size],
+                    )
+                    chunks += 1
             return tokens, chunks, time.perf_counter() - start
         finally:
             if shm is not None:
@@ -255,6 +266,11 @@ class PersistentShardExecutor:
         shut down in the background; the next ``submit`` transparently
         respawns them.  ``None`` (default) keeps workers until
         :meth:`close`.
+    array_backend:
+        Array backend every worker's resident pass runs under (name,
+        :class:`~repro.engine.backend.ArrayBackend` instance, or
+        ``None`` for whatever is active at construction).  Shipped to
+        workers by name and activated for their whole lifetime.
     """
 
     BACKENDS = ("process", "serial")
@@ -269,7 +285,9 @@ class PersistentShardExecutor:
         dispatch: str = "auto",
         heartbeat_timeout: float = 30.0,
         idle_timeout: float | None = None,
+        array_backend=None,
     ):
+        self.array_backend = resolve_backend(array_backend)
         if workers == "auto":
             workers = os.cpu_count() or 1
         elif not isinstance(workers, int):
@@ -338,7 +356,9 @@ class PersistentShardExecutor:
         if self.backend == "serial":
             if not self._workers:
                 self._workers = [
-                    _SerialWorker(i, self.factory, self.chunk_size)
+                    _SerialWorker(
+                        i, self.factory, self.chunk_size, self.array_backend
+                    )
                     for i in range(self.workers)
                 ]
             return
@@ -371,7 +391,14 @@ class PersistentShardExecutor:
         tasks = self._ctx.Queue()
         process = self._ctx.Process(
             target=_persistent_worker,
-            args=(index, self.factory, self.chunk_size, tasks, self._results),
+            args=(
+                index,
+                self.factory,
+                self.chunk_size,
+                tasks,
+                self._results,
+                self.array_backend.name,
+            ),
             daemon=True,
             name=f"repro-shard-{index}",
         )
@@ -602,6 +629,7 @@ class PersistentShardExecutor:
             seconds=time.perf_counter() - pending.started,
             path="sharded",
             chunk_size=self.chunk_size,
+            backend=self.array_backend.name,
             workers=self.workers,
             merge_seconds=merge_seconds,
             shards=tuple(

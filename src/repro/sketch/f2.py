@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.base import MergeIncompatibleError, StreamingAlgorithm
+from repro.engine.backend import backend_of
 from repro.sketch.hashing import SignHash
 
 __all__ = ["F2Sketch"]
@@ -59,9 +60,9 @@ class F2Sketch(StreamingAlgorithm):
     def _process_batch(self, items: np.ndarray) -> None:
         # Linear sketch: summing per-item signs over the batch is
         # exactly the scalar path.
-        unique, counts = np.unique(items, return_counts=True)
+        unique, counts = backend_of(items).unique_counts(items)
         for idx, sign in enumerate(self._signs):
-            self._counters[idx] += int(np.dot(sign(unique), counts))
+            self._counters[idx] += int((sign(unique) * counts).sum())
 
     def estimate(self) -> float:
         """Return the ``F_2`` estimate and finalise the pass."""

@@ -33,6 +33,8 @@ import math
 
 import numpy as np
 
+from repro.engine.backend import backend_of
+
 __all__ = [
     "MERSENNE_P",
     "KWiseHash",
@@ -131,11 +133,11 @@ class KWiseHash:
             for a in self._coeffs_py[1:]:
                 acc = (acc * xi + a) % MERSENNE_P
             return acc % self.range_size
-        xs = np.asarray(x, dtype=np.int64) % MERSENNE_P
-        acc = np.full_like(xs, int(self._coeffs[0]))
-        for a in self._coeffs[1:]:
-            acc = (acc * xs + int(a)) % MERSENNE_P
-        return acc % self.range_size
+        # Array path: one Horner pass on whichever backend owns the
+        # input (numpy arrays stay numpy; torch tensors stay on device).
+        return backend_of(x).horner_mod(
+            self._coeffs, x, MERSENNE_P, self.range_size
+        )
 
     def space_words(self) -> int:
         """Words needed to store this function (its coefficients)."""
@@ -174,19 +176,28 @@ class KWiseHashBank:
         self._ranges = np.asarray(
             [h.range_size for h in hashes], dtype=np.int64
         ).reshape(-1, 1)
+        # Per-backend copies of the coefficient matrix; the host arrays
+        # above stay canonical (merge validation compares their bytes).
+        self._device_banks: dict = {}
 
-    def eval_many(self, xs) -> np.ndarray:
-        """``(B, L)`` matrix with ``out[b, j] = hashes[b](xs[j])``."""
-        xs = np.asarray(xs, dtype=np.int64) % MERSENNE_P
-        acc = np.empty((self.size, len(xs)), dtype=np.int64)
-        acc[:] = self._coeffs[:, :1]
-        for j in range(1, self.degree):
-            # Residues stay below 2^31, so the product fits in int64.
-            acc *= xs
-            acc += self._coeffs[:, j : j + 1]
-            acc %= MERSENNE_P
-        acc %= self._ranges
-        return acc
+    def _bank_arrays(self, xb):
+        cached = self._device_banks.get(xb.name)
+        if cached is None:
+            cached = (xb.from_host(self._coeffs), xb.from_host(self._ranges))
+            self._device_banks[xb.name] = cached
+        return cached
+
+    def eval_many(self, xs, xb=None):
+        """``(B, L)`` matrix with ``out[b, j] = hashes[b](xs[j])``.
+
+        Evaluates on ``xb`` when given, else on the backend owning
+        ``xs``.  Residues stay below 2^31, so every product fits int64
+        and the result is bit-identical across backends.
+        """
+        if xb is None:
+            xb = backend_of(xs)
+        coeffs, ranges = self._bank_arrays(xb)
+        return xb.horner_mod_bank(coeffs, xs, MERSENNE_P, ranges)
 
     def space_words(self) -> int:
         """Words to store every member's coefficients."""
@@ -207,7 +218,7 @@ class SignHash:
         bit = self._hash(x)
         if isinstance(bit, int):
             return 1 if bit == 1 else -1
-        return np.where(bit == 1, 1, -1).astype(np.int64)
+        return backend_of(bit).where(bit == 1, 1, -1)
 
     def space_words(self) -> int:
         return self._hash.space_words()
@@ -252,9 +263,10 @@ class SampledSet:
 
     def contains_many(self, xs: np.ndarray) -> np.ndarray:
         """Vectorised membership test for an array of items."""
+        xb = backend_of(xs)
         if self.buckets == 1:
-            return np.ones(len(xs), dtype=bool)
-        return self._hash(np.asarray(xs)) == 0
+            return xb.ones_bool(len(xs))
+        return self._hash(xb.ensure(xs)) == 0
 
     def space_words(self) -> int:
         return self._hash.space_words() + 1

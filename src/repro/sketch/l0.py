@@ -22,6 +22,7 @@ import heapq
 import numpy as np
 
 from repro.base import MergeIncompatibleError, StreamingAlgorithm
+from repro.engine.backend import HOST, as_host, backend_of
 from repro.engine.profile import PROFILER
 from repro.sketch.hashing import MERSENNE_P, KWiseHash
 
@@ -54,10 +55,11 @@ class L0Sketch(StreamingAlgorithm):
         # Max-heap (via negation) of the smallest hash values seen.
         self._heap: list[int] = []
         self._members: set[int] = set()
-        # Lazy hash table over a small item domain: recomputable from
-        # the hash seed, so a CPython speed cache outside the space
-        # model (like the membership caches elsewhere).
-        self._hash_table: np.ndarray | None = None
+        # Lazy hash tables over a small item domain, one per array
+        # backend that has asked: recomputable from the hash seed, so a
+        # CPython speed cache outside the space model (like the
+        # membership caches elsewhere).
+        self._hash_tables: dict = {}
 
     def _process(self, item) -> None:
         hv = self._hash(int(item))
@@ -90,11 +92,12 @@ class L0Sketch(StreamingAlgorithm):
         if domain > (1 << 16):
             self._ingest_hashed(self._hash(items))
             return
-        table = self._hash_table
+        xb = backend_of(items)
+        table = self._hash_tables.get(xb.name)
         if table is None or len(table) < domain:
-            table = self._hash(np.arange(domain, dtype=np.int64))
-            self._hash_table = table
-        self._ingest_hashed(table[items])
+            table = self._hash(xb.arange(domain))
+            self._hash_tables[xb.name] = table
+        self._ingest_hashed(xb.take(table, items))
 
     def _ingest_hashed(self, raw_hvs: np.ndarray) -> None:
         if PROFILER.enabled:
@@ -118,16 +121,18 @@ class L0Sketch(StreamingAlgorithm):
         hvs = raw_hvs
         if len(hvs) == 0:
             return
+        # Host boundary: the synopsis (heap + member set) is
+        # host-resident state, so the threshold survivors -- typically a
+        # tiny fraction of the chunk -- sync across here.
+        hvs = as_host(hvs)
         if len(hvs) > 32:
             # Large survivor sets: rebuild the synopsis as the k smallest
             # of (current members  ∪  new values) in one sorted pass
             # (``union1d`` dedups internally).  KMV state is exactly
             # that set, so the rebuild is bit-identical to the
             # incremental inserts.
-            merged = np.union1d(
-                np.fromiter(
-                    self._members, dtype=np.int64, count=len(self._members)
-                ),
+            merged = HOST.union1d(
+                HOST.fromiter(self._members, len(self._members)),
                 hvs,
             )[: self.sketch_size]
             self._members = set(merged.tolist())

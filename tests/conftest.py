@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine.backend import available_backends, use_backend
+
 from repro import (
     EdgeStream,
     Parameters,
@@ -12,6 +14,22 @@ from repro import (
     few_large_sets,
     planted_cover,
 )
+
+
+@pytest.fixture(params=available_backends())
+def array_backend(request):
+    """Every array backend that can run in this process, activated.
+
+    Parametrised over :func:`available_backends`, so torch rows exist
+    only where torch is importable (absence means "no test", never a
+    failure) and the CUDA row carries the ``gpu`` marker so it can be
+    deselected on CPU-only runners.
+    """
+    name = request.param
+    if name == "torch-cuda":
+        request.applymarker(pytest.mark.gpu)
+    with use_backend(name) as backend:
+        yield backend
 
 
 @pytest.fixture(scope="session")

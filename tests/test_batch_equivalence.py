@@ -147,6 +147,12 @@ class TestPlannedEquivalence:
     change a single bit: for every chunking and every adversarial
     arrival order, the planned run must equal the unplanned run in its
     final estimate *and* its complete serialised state.
+
+    The planned pass is parametrised over every available array backend
+    (``array_backend`` fixture) while the unplanned reference is pinned
+    to numpy, so the state comparison doubles as the cross-backend
+    byte-identity guarantee: a torch run must serialise to exactly the
+    bytes the numpy run does.
     """
 
     PLAN_CHUNKS = (1, 7, 64, 8192)
@@ -181,11 +187,15 @@ class TestPlannedEquivalence:
                 planned_state[key], unplanned_state[key]
             ), key
 
-    def _run_both(self, make, set_ids, elements, chunk_size):
+    def _run_both(self, make, set_ids, elements, chunk_size, backend=None):
+        from repro.engine.backend import use_backend
         from repro.engine.plan import planning_disabled
 
-        planned = _replay_chunked(make(), set_ids, elements, chunk_size)
-        with planning_disabled():
+        with use_backend(backend):
+            planned = _replay_chunked(make(), set_ids, elements, chunk_size)
+        # The reference is always the unplanned numpy run, so comparing
+        # states also proves cross-backend bit-identity.
+        with use_backend("numpy"), planning_disabled():
             unplanned = _replay_chunked(
                 make(), set_ids, elements, chunk_size
             )
@@ -193,7 +203,7 @@ class TestPlannedEquivalence:
 
     @pytest.mark.parametrize("chunk_size", PLAN_CHUNKS)
     def test_estimator_state_bit_identical(
-        self, planted_workload, arrays, chunk_size
+        self, planted_workload, arrays, chunk_size, array_backend
     ):
         system = planted_workload.system
 
@@ -204,14 +214,14 @@ class TestPlannedEquivalence:
 
         set_ids, elements = arrays
         planned, unplanned = self._run_both(
-            make, set_ids, elements, chunk_size
+            make, set_ids, elements, chunk_size, array_backend
         )
         self._assert_same_state(planned, unplanned)
         assert planned.estimate() == unplanned.estimate()
 
     @pytest.mark.parametrize("chunk_size", PLAN_CHUNKS)
     def test_reporter_solution_bit_identical(
-        self, planted_workload, arrays, chunk_size
+        self, planted_workload, arrays, chunk_size, array_backend
     ):
         from repro import MaxCoverReporter
 
@@ -224,12 +234,12 @@ class TestPlannedEquivalence:
 
         set_ids, elements = arrays
         planned, unplanned = self._run_both(
-            make, set_ids, elements, chunk_size
+            make, set_ids, elements, chunk_size, array_backend
         )
         self._assert_same_state(planned, unplanned)
         assert planned.solution() == unplanned.solution()
 
-    def test_every_arrival_order(self, planted_workload):
+    def test_every_arrival_order(self, planted_workload, array_backend):
         system = planted_workload.system
 
         def make():
@@ -240,15 +250,17 @@ class TestPlannedEquivalence:
         for name, stream in self._orders(planted_workload).items():
             set_ids, elements = stream.as_arrays()
             planned, unplanned = self._run_both(
-                make, set_ids, elements, 64
+                make, set_ids, elements, 64, array_backend
             )
             self._assert_same_state(planned, unplanned)
             assert planned.estimate() == unplanned.estimate(), name
 
     def test_planned_matches_scalar_reference(
-        self, planted_workload, arrays
+        self, planted_workload, arrays, array_backend
     ):
         """The plan is also identical to the per-token reference path."""
+        from repro.engine.backend import use_backend
+
         system = planted_workload.system
 
         def make():
@@ -258,7 +270,8 @@ class TestPlannedEquivalence:
 
         set_ids, elements = arrays
         scalar = _replay_scalar(make(), set_ids, elements)
-        planned = _replay_chunked(make(), set_ids, elements, 64)
+        with use_backend(array_backend):
+            planned = _replay_chunked(make(), set_ids, elements, 64)
         planned_state = planned.state_arrays()
         scalar_state = scalar.state_arrays()
         assert planned_state.keys() == scalar_state.keys()

@@ -45,6 +45,17 @@ from repro.sketch.serialize import dumps_state, loads_state
 from repro.streams.edge_stream import EdgeStream
 from repro.streams.generators import planted_cover
 
+# Ragged relative to every pool capacity and stride in play, so chunk
+# boundaries land mid-group and the batched kernels are stressed.
+FEED_CHUNK = 37
+
+
+@pytest.fixture(autouse=True)
+def _backend(array_backend):
+    """Every merge law runs under every runnable array backend: the
+    operands are built by that backend's fused kernels (see ``_feed``),
+    and the laws must hold on the resulting host state bit-for-bit."""
+
 # 60 distinct items, repeated: comfortably below every candidate-pool
 # capacity in play, so pool merges are exact and order-insensitive on
 # content (commutativity of *answers* is provable there).
@@ -172,11 +183,20 @@ CASES = [
 
 
 def _feed(algo, tokens):
-    for token in tokens:
-        if isinstance(token, tuple):
-            algo.process(*token)
-        else:
-            algo.process(token)
+    """Feed tokens in ragged column batches through ``process_batch``,
+    so the *active array backend's* kernels build the states whose
+    merge laws are under test (scalar/batch equivalence is asserted
+    separately in test_batch_equivalence.py)."""
+    if not tokens:
+        return algo
+    if isinstance(tokens[0], tuple):
+        columns = [np.asarray(c, dtype=np.int64) for c in zip(*tokens)]
+    else:
+        columns = [np.asarray(tokens, dtype=np.int64)]
+    for start in range(0, len(columns[0]), FEED_CHUNK):
+        algo.process_batch(
+            *(c[start : start + FEED_CHUNK] for c in columns)
+        )
     return algo
 
 
