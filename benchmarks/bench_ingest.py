@@ -62,6 +62,11 @@ def dispatch_stream() -> EdgeStream:
     return _make_stream(DN, DM, DK)
 
 
+#: Repeats behind every single-pass throughput median in the saved
+#: baselines; recorded alongside the rates as ``"runs"``.
+RUNS = 5
+
+
 def _best_of(repeats: int, fn):
     """Best-of-``repeats`` wall clock (load benches are I/O-noisy)."""
     best = float("inf")
@@ -71,6 +76,20 @@ def _best_of(repeats: int, fn):
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _median_rate(run_once, runs: int = RUNS):
+    """``(median_rate, noise_pct)`` over ``runs`` timed passes.
+
+    ``run_once`` returns a tokens/sec rate.  The noise band is the full
+    spread as a percent of the median -- saved next to the baseline
+    rates so a future regression check can tell a real slowdown from a
+    noisy box.
+    """
+    rates = sorted(run_once() for _ in range(runs))
+    median = rates[len(rates) // 2]
+    noise_pct = 100.0 * (rates[-1] - rates[0]) / max(median, 1e-9)
+    return median, noise_pct
 
 
 def _save_json(name: str, payload: dict) -> None:
@@ -164,19 +183,52 @@ def test_dispatch_table(dispatch_stream, tmp_path, save_table):
     single_report = StreamRunner(chunk_size=4096).run(single, stream)
     reference = single.estimate()
 
-    # One single-pass row per runnable array backend; every backend must
-    # reproduce the numpy estimate exactly (the backend layer is an
-    # execution strategy, never a different algorithm).
-    from repro.engine.backend import available_backends
+    # One single-pass row per runnable array backend, each the median of
+    # RUNS timed passes; every backend must reproduce the numpy estimate
+    # exactly (the backend layer is an execution strategy, never a
+    # different algorithm).
+    from repro.engine.backend import (
+        available_backends,
+        get_backend,
+        numba_available,
+    )
 
-    backend_rows: dict = {}
-    for backend_name in available_backends():
+    def _pass_rate(backend_name):
         algo = factory()
         report = StreamRunner(
             chunk_size=4096, array_backend=backend_name
         ).run(algo, stream)
         assert algo.estimate() == reference, backend_name
-        backend_rows[backend_name] = int(report.tokens_per_sec)
+        return report.tokens_per_sec
+
+    backend_rows: dict = {}
+    noise_rows: dict = {}
+    for backend_name in available_backends():
+        if backend_name == "numba":
+            # First pass pays JIT compilation; keep it out of the median.
+            get_backend("numba").warmup()
+            _pass_rate("numba")
+        rate, noise_pct = _median_rate(partial(_pass_rate, backend_name))
+        backend_rows[backend_name] = int(rate)
+        noise_rows[backend_name] = round(noise_pct, 1)
+
+    # Thread-scaling rows: the numba kernels fan chunk work across a
+    # prange pool, so throughput should move with the thread count
+    # (within what the instance's chunk sizes can feed).
+    thread_rows: dict = {}
+    if numba_available():
+        backend = get_backend("numba")
+        original_threads = backend.threads
+        try:
+            for threads in (1, 2, 4):
+                threads = min(threads, backend.max_threads())
+                if str(threads) in thread_rows:
+                    continue
+                backend.set_threads(threads)
+                rate, _ = _median_rate(partial(_pass_rate, "numba"), runs=3)
+                thread_rows[str(threads)] = int(rate)
+        finally:
+            backend.set_threads(original_threads)
 
     table = ResultTable(
         ["dispatch", "stream", "payload bytes", "tokens/sec", "estimate"],
@@ -188,14 +240,21 @@ def test_dispatch_table(dispatch_stream, tmp_path, save_table):
         "instance": {"m": DM, "n": DN, "k": DK},
         "workers": 2,
         "cpu_count": os.cpu_count(),
-        "single_pass_tokens_per_sec": int(single_report.tokens_per_sec),
+        "runs": RUNS,
+        "noise_pct": noise_rows,
+        "single_pass_tokens_per_sec": backend_rows["numpy"],
         "backend_tokens_per_sec": backend_rows,
+        "numba_threads_tokens_per_sec": thread_rows,
         "dispatch_bytes": {},
         "sharded_tokens_per_sec": {},
     }
     for backend_name, rate in backend_rows.items():
         table.add_row(
             f"single ({backend_name})", "full", 0, rate, round(reference, 1)
+        )
+    for threads, rate in thread_rows.items():
+        table.add_row(
+            f"single (numba, {threads}t)", "full", 0, rate, round(reference, 1)
         )
 
     cases = [

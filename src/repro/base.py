@@ -386,10 +386,15 @@ class RunReport:
     path:
         ``"vectorized"`` or ``"scalar"``.
     chunk_size:
-        The runner's configured chunk size.
+        The chunk size the pass ran with.  For an autotuned run
+        (``StreamRunner(chunk_size="auto")``) this is the size the
+        tuner settled on, not the probe sizes.
     backend:
         Name of the array backend the pass ran under (``"numpy"``,
-        ``"torch-cpu"``, ``"torch-cuda"``).
+        ``"numba"``, ``"torch-cpu"``, ``"torch-cuda"``).
+    autotune:
+        ``None`` for fixed-size runs; for autotuned runs, the tuner's
+        probe table (see :meth:`repro.engine.autotune.AutotuneResult.report`).
     """
 
     tokens: int
@@ -398,6 +403,7 @@ class RunReport:
     path: str
     chunk_size: int
     backend: str = "numpy"
+    autotune: dict | None = None
 
     @property
     def tokens_per_sec(self) -> float:
@@ -428,6 +434,12 @@ class StreamRunner:
         default 4096 is large enough to amortise numpy dispatch across
         every branch's kernels, small enough that per-chunk scratch
         (``branches x chunk_size`` reduction matrices) stays in cache.
+        Pass the string ``"auto"`` to pick the size empirically during
+        the pass (columnar ``as_arrays`` streams only; other stream
+        shapes fall back to the default size): see
+        :func:`repro.engine.autotune.drive_autotuned`.  The chosen size
+        is recorded in :attr:`RunReport.chunk_size` and the probe table
+        in :attr:`RunReport.autotune`.
     path:
         ``"vectorized"`` routes chunks through ``process_batch``;
         ``"scalar"`` replays the per-token ``process`` reference path
@@ -444,10 +456,20 @@ class StreamRunner:
 
     def __init__(
         self,
-        chunk_size: int = 4096,
+        chunk_size: int | str = 4096,
         path: str = "vectorized",
         array_backend=None,
     ):
+        self.autotune = chunk_size == "auto"
+        if self.autotune:
+            from repro.engine.autotune import DEFAULT_CHUNK_SIZE
+
+            chunk_size = DEFAULT_CHUNK_SIZE
+        elif isinstance(chunk_size, str):
+            raise ValueError(
+                f"chunk_size must be a positive int or 'auto', "
+                f"got {chunk_size!r}"
+            )
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if path not in self.PATHS:
@@ -473,6 +495,8 @@ class StreamRunner:
         start = time.perf_counter()
         tokens = 0
         chunks = 0
+        chunk_size = self.chunk_size
+        autotune_report = None
         if self.path == "scalar":
             for token in stream:
                 if isinstance(token, tuple):
@@ -483,10 +507,23 @@ class StreamRunner:
         elif hasattr(stream, "as_arrays"):
             set_ids, elements = stream.as_arrays()
             tokens = len(set_ids)
-            for lo in range(0, tokens, self.chunk_size):
-                hi = lo + self.chunk_size
-                algo.process_batch(set_ids[lo:hi], elements[lo:hi])
-                chunks += 1
+            if self.autotune:
+                from repro.engine.autotune import drive_autotuned
+
+                result = drive_autotuned(
+                    lambda lo, hi: algo.process_batch(
+                        set_ids[lo:hi], elements[lo:hi]
+                    ),
+                    tokens,
+                )
+                chunks = result.chunks
+                chunk_size = result.chosen
+                autotune_report = result.report()
+            else:
+                for lo in range(0, tokens, self.chunk_size):
+                    hi = lo + self.chunk_size
+                    algo.process_batch(set_ids[lo:hi], elements[lo:hi])
+                    chunks += 1
         elif hasattr(stream, "iter_chunks"):
             for columns in stream.iter_chunks(self.chunk_size):
                 algo.process_batch(*columns)
@@ -508,8 +545,9 @@ class StreamRunner:
             chunks=chunks,
             seconds=time.perf_counter() - start,
             path=self.path,
-            chunk_size=self.chunk_size,
+            chunk_size=chunk_size,
             backend=self.array_backend.name,
+            autotune=autotune_report,
         )
 
     @staticmethod

@@ -105,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
             )
         return value
 
+    def chunk_size_arg(text):
+        if text == "auto":
+            return "auto"
+        return positive_int(text)
+
     def add_engine(p):
         p.add_argument(
             "--engine",
@@ -114,9 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--chunk-size",
-            type=positive_int,
+            type=chunk_size_arg,
             default=4096,
-            help="tokens per batch on the vectorized engine",
+            metavar="N|auto",
+            help="tokens per batch on the vectorized engine, or 'auto' "
+            "to probe a grid of sizes during the pass and finish at "
+            "the fastest (single-process columnar streams only)",
         )
         p.add_argument(
             "--workers",
@@ -140,8 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
             choices=BACKEND_CHOICES,
             default="numpy",
             help="array backend for the kernels: numpy (reference), "
-            "torch / torch-cpu / torch-cuda (bit-identical int64 "
-            "arithmetic), or auto (CUDA when available, else numpy)",
+            "numba (compiled thread-parallel host kernels), torch / "
+            "torch-cpu / torch-cuda (bit-identical int64 arithmetic), "
+            "or auto (CUDA when available, else numba, else numpy)",
         )
 
     est = sub.add_parser("estimate", help="estimate optimal coverage")
@@ -214,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the fused evaluation plan and run the legacy "
         "per-branch path (same numbers, for A/B timing)",
     )
+    bench.add_argument(
+        "--autotune",
+        action="store_true",
+        help="shorthand for --chunk-size auto; also prints the "
+        "tuner's probe table",
+    )
 
     conv = sub.add_parser(
         "convert", help="re-encode a stream file (text <-> binary)"
@@ -255,6 +270,11 @@ def _run_maybe_sharded(args, factory, stream):
         if args.engine != "vectorized":
             raise SystemExit(
                 "--workers > 1 requires the vectorized engine"
+            )
+        if args.chunk_size == "auto":
+            raise SystemExit(
+                "--chunk-size auto requires --workers 1: shard "
+                "executors pin one chunk size across the pool"
             )
         if getattr(args, "executor", "per-run") == "persistent":
             from repro.parallel import PersistentShardExecutor
@@ -445,6 +465,8 @@ def _cmd_bench(args) -> int:
     from repro.engine.profile import PROFILER
 
     stream = _load(args)
+    if args.autotune:
+        args.chunk_size = "auto"
     factory = functools.partial(
         EstimateMaxCover,
         m=stream.m,
@@ -470,6 +492,19 @@ def _cmd_bench(args) -> int:
     print(f"space_words: {algo.space_words()}")
     print(f"plan: {'disabled' if args.no_plan else 'fused'}")
     _print_throughput(args, report)
+    if report.autotune is not None:
+        print(f"autotuned chunk_size: {report.chunk_size}")
+        print("autotune probes (chunk_size  tokens/sec):")
+        for probe in report.autotune["probes"]:
+            marker = (
+                " <- chosen"
+                if probe["chunk_size"] == report.chunk_size
+                else ""
+            )
+            print(
+                f"  {probe['chunk_size']:>6}  "
+                f"{probe['tokens_per_sec']:12.0f}{marker}"
+            )
     if args.profile:
         breakdown = PROFILER.snapshot()
         if not breakdown:

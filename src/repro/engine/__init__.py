@@ -10,8 +10,12 @@ with one Horner pass, and memoises every per-chunk result so nested
 composites reuse parent evaluations instead of re-hashing.
 
 :mod:`repro.engine.backend` is the array-backend shim those passes run
-on: a numpy reference implementation and a torch (CPU/CUDA) port of the
-same primitives, selected per run and bit-identical by contract.
+on: a numpy reference implementation, a numba port with compiled
+thread-parallel host kernels, and a torch (CPU/CUDA) port of the same
+primitives, selected per run and bit-identical by contract.
+:mod:`repro.engine.arena` holds the per-plan scratch arena those host
+backends write into; :mod:`repro.engine.autotune` picks the chunk size
+empirically for ``StreamRunner(chunk_size="auto")``.
 
 :mod:`repro.engine.profile` carries the opt-in per-kernel timer behind
 ``repro bench --profile``.
@@ -25,6 +29,7 @@ from repro.engine.backend import (
     BACKEND_CHOICES,
     ArrayBackend,
     BackendUnavailableError,
+    NumbaBackend,
     NumpyBackend,
     TorchBackend,
     active_backend,
@@ -32,6 +37,7 @@ from repro.engine.backend import (
     backend_of,
     cuda_available,
     get_backend,
+    numba_available,
     resolve_backend,
     set_active_backend,
     torch_available,
@@ -45,14 +51,18 @@ __all__ = [
     "ChunkContext",
     "EvalPlan",
     "KernelProfiler",
+    "NumbaBackend",
     "NumpyBackend",
     "PROFILER",
+    "ScratchArena",
     "TorchBackend",
     "active_backend",
     "available_backends",
     "backend_of",
     "cuda_available",
+    "drive_autotuned",
     "get_backend",
+    "numba_available",
     "planning_disabled",
     "planning_enabled",
     "resolve_backend",
@@ -68,6 +78,8 @@ _LAZY = {
     "planning_enabled": "repro.engine.plan",
     "PROFILER": "repro.engine.profile",
     "KernelProfiler": "repro.engine.profile",
+    "ScratchArena": "repro.engine.arena",
+    "drive_autotuned": "repro.engine.autotune",
 }
 
 

@@ -1,0 +1,174 @@
+"""Compiled nopython kernels behind the ``numba`` array backend.
+
+Importing this module requires numba; :mod:`repro.engine.backend`
+imports it lazily and treats an ``ImportError`` as "backend
+unavailable", so the rest of the package never pays for the dependency.
+
+Every kernel mirrors the numpy reference in
+:class:`~repro.engine.backend.NumpyBackend` value-for-value:
+
+* the Horner passes apply ``% modulus`` after every fused
+  multiply-add, exactly like the vectorised numpy sweep, so residues
+  stay in ``[0, modulus)`` and every int64 product is exact;
+* ``%`` in nopython mode follows Python semantics (result signed like
+  the divisor), matching numpy's behaviour on the few call sites that
+  can see negative inputs;
+* the scatter kernels accumulate int64 directly -- integer addition is
+  associative, so any order (including the parallel per-row split)
+  reproduces numpy's result bit-for-bit.
+
+Kernels are ``cache=True`` so the JIT cost is paid once per machine,
+and ``parallel=True`` where iterations are independent: threads share
+the chunk in-process, which is what finally makes parallelism win over
+the sharded executors' state-shipping tax on a single node.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+from numba import njit, prange
+
+__all__ = [
+    "horner_mod_bank",
+    "horner_mod_bank_ranged",
+    "horner_mod",
+    "bincount_weighted",
+    "scatter_rows",
+    "mod_into",
+    "take_into",
+    "get_threads",
+    "max_threads",
+    "set_threads",
+    "warmup",
+]
+
+
+@njit(cache=True, parallel=True)
+def horner_mod_bank(coeffs, xs, modulus, out):
+    """``out[b, i] = poly_b(xs[i]) mod modulus`` for a ``(B, D)`` bank.
+
+    Parallel over chunk positions: each thread owns a contiguous run of
+    ``i`` and sweeps every bank row for it, so ``xs[i] % modulus`` is
+    computed once per position and the coefficient matrix stays in
+    cache.
+    """
+    B, D = coeffs.shape
+    for i in prange(xs.shape[0]):
+        x = xs[i] % modulus
+        for b in range(B):
+            acc = coeffs[b, 0]
+            for j in range(1, D):
+                acc = (acc * x + coeffs[b, j]) % modulus
+            out[b, i] = acc
+
+
+@njit(cache=True, parallel=True)
+def horner_mod_bank_ranged(coeffs, xs, modulus, ranges, out):
+    """:func:`horner_mod_bank` with a per-row final ``% ranges[b]``."""
+    B, D = coeffs.shape
+    for i in prange(xs.shape[0]):
+        x = xs[i] % modulus
+        for b in range(B):
+            acc = coeffs[b, 0]
+            for j in range(1, D):
+                acc = (acc * x + coeffs[b, j]) % modulus
+            out[b, i] = acc % ranges[b]
+
+
+@njit(cache=True, parallel=True)
+def horner_mod(coeffs, xs, modulus, range_size, out):
+    """Single-family Horner pass; ``range_size < 0`` skips the final mod."""
+    D = coeffs.shape[0]
+    for i in prange(xs.shape[0]):
+        x = xs[i] % modulus
+        acc = coeffs[0]
+        for j in range(1, D):
+            acc = (acc * x + coeffs[j]) % modulus
+        if range_size > 0:
+            acc = acc % range_size
+        out[i] = acc
+
+
+@njit(cache=True)
+def bincount_weighted(x, weights, out):
+    """Exact int64 weighted bincount into a preallocated ``out``.
+
+    Sequential on purpose: concurrent adds to shared counters would
+    race, and the numpy reference's float64 detour (exact below 2**53)
+    is replaced by direct integer accumulation -- same values, one pass,
+    no casts.
+    """
+    for i in range(x.shape[0]):
+        out[x[i]] += weights[i]
+
+
+@njit(cache=True, parallel=True)
+def scatter_rows(table, buckets, values):
+    """``table[r, buckets[r, i]] += values[r, i]`` for every row ``r``.
+
+    The CountSketch scatter: rows are independent tables, so the
+    parallel split is over ``r`` and each thread scatters into its own
+    row without synchronisation.  Integer addition commutes, hence the
+    result is identical to numpy's ``np.add.at`` / flat-bincount pair
+    regardless of thread schedule.
+    """
+    depth = table.shape[0]
+    length = buckets.shape[1]
+    for r in prange(depth):
+        for i in range(length):
+            table[r, buckets[r, i]] += values[r, i]
+
+
+@njit(cache=True, parallel=True)
+def mod_into(a, m, out):
+    """Elementwise int64 ``a % m`` (scalar modulus) into ``out``."""
+    for i in prange(a.shape[0]):
+        out[i] = a[i] % m
+
+
+@njit(cache=True, parallel=True)
+def take_into(a, idx, out):
+    """Gather ``out[i] = a[idx[i]]`` -- the tabulated-column hot path."""
+    for i in prange(idx.shape[0]):
+        out[i] = a[idx[i]]
+
+
+def get_threads() -> int:
+    """Threads the parallel kernels currently fan out over."""
+    return numba.get_num_threads()
+
+
+def max_threads() -> int:
+    """Upper bound on :func:`set_threads` (numba's thread-pool size)."""
+    return numba.config.NUMBA_NUM_THREADS
+
+
+def set_threads(n: int) -> int:
+    """Set the kernel thread count (clamped to the pool); returns it."""
+    n = max(1, min(int(n), max_threads()))
+    numba.set_num_threads(n)
+    return n
+
+
+def warmup() -> None:
+    """Compile every kernel on tiny inputs (a no-op once disk-cached).
+
+    Benchmarks call this before timing so JIT latency never lands in a
+    measured region; the first real chunk of a cold process would
+    otherwise pay it.
+    """
+    coeffs = np.arange(1, 7, dtype=np.int64).reshape(2, 3)
+    xs = np.arange(4, dtype=np.int64)
+    out2 = np.empty((2, 4), dtype=np.int64)
+    out1 = np.empty(4, dtype=np.int64)
+    ranges = np.asarray([5, 7], dtype=np.int64)
+    horner_mod_bank(coeffs, xs, 97, out2)
+    horner_mod_bank_ranged(coeffs, xs, 97, ranges, out2)
+    horner_mod(coeffs[0], xs, 97, 5, out1)
+    horner_mod(coeffs[0], xs, 97, -1, out1)
+    bincount_weighted(xs, np.ones(4, dtype=np.int64), out1)
+    scatter_rows(out2, np.zeros((2, 4), dtype=np.int64), out2.copy())
+    mod_into(xs, 3, out1)
+    take_into(xs, np.zeros(4, dtype=np.int64), out1)
+    take_into(xs == 0, np.zeros(4, dtype=np.int64), np.empty(4, dtype=bool))

@@ -4,8 +4,9 @@ The plan layer (PR 5) reduced the whole hot loop to a handful of dense
 primitives: batched Horner passes over ``(B, degree)`` coefficient
 mega-banks, bincount scatters into sketch tables, stable sorts and
 gathers.  This module abstracts exactly that surface behind
-:class:`ArrayBackend` so the same branch tree can evaluate on numpy or
-on torch (CPU or CUDA) per chunk.
+:class:`ArrayBackend` so the same branch tree can evaluate on numpy,
+on numba-compiled thread-parallel kernels, or on torch (CPU or CUDA)
+per chunk.
 
 Contract
 --------
@@ -38,6 +39,7 @@ import numpy as np
 __all__ = [
     "ArrayBackend",
     "NumpyBackend",
+    "NumbaBackend",
     "TorchBackend",
     "BackendUnavailableError",
     "NUMPY",
@@ -51,12 +53,13 @@ __all__ = [
     "available_backends",
     "backend_of",
     "as_host",
+    "numba_available",
     "torch_available",
     "cuda_available",
 ]
 
 # Names accepted by :func:`get_backend` / the CLI ``--backend`` flag.
-BACKEND_CHOICES = ("auto", "numpy", "torch", "torch-cpu", "torch-cuda")
+BACKEND_CHOICES = ("auto", "numpy", "numba", "torch", "torch-cpu", "torch-cuda")
 
 
 class BackendUnavailableError(RuntimeError):
@@ -132,8 +135,13 @@ class ArrayBackend:
     def searchsorted(self, sorted_a, values, side="left", sorter=None):
         raise NotImplementedError
 
-    def take(self, a, idx):
-        """Gather ``a[idx]`` (the tabulated-column hot path)."""
+    def take(self, a, idx, out=None):
+        """Gather ``a[idx]`` (the tabulated-column hot path).
+
+        ``out`` is a reuse hint from a scratch arena: host backends
+        write into it; backends with their own allocators may ignore it
+        and return a fresh array.  Callers must use the return value.
+        """
         raise NotImplementedError
 
     def ascontiguous(self, a):
@@ -144,13 +152,15 @@ class ArrayBackend:
         raise NotImplementedError
 
     # -- fused kernels ---------------------------------------------------
-    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None):
+    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None, out=None):
         """Evaluate a ``(B, degree)`` coefficient bank at ``xs``.
 
         Returns the ``(B, len(xs))`` int64 matrix
         ``(sum_j coeffs[:, j] x^(d-1-j)) mod modulus`` (``mod ranges``
         rowwise when given).  All arithmetic int64; inputs are reduced
-        ``mod modulus`` first so products stay below 2**63.
+        ``mod modulus`` first so products stay below 2**63.  ``out`` is
+        a scratch-arena reuse hint with the same contract as
+        :meth:`take`.
         """
         raise NotImplementedError
 
@@ -198,6 +208,15 @@ class NumpyBackend(ArrayBackend):
     name = "numpy"
     device = "cpu"
     is_gpu = False
+
+    def __init__(self):
+        # Call-internal scratch for the flat-bincount scatter path:
+        # the flattened bucket matrix and the per-(depth, width) row
+        # offsets are reused across chunks instead of reallocated.  The
+        # buffers never escape a single bincount_scatter call, so the
+        # process-wide singleton sharing them across algorithms is safe.
+        self._scatter_flat = np.empty(0, dtype=np.int64)
+        self._scatter_offsets: dict = {}
 
     # -- transfer (identity on the host) --------------------------------
     def from_host(self, a):
@@ -253,8 +272,10 @@ class NumpyBackend(ArrayBackend):
     def searchsorted(self, sorted_a, values, side="left", sorter=None):
         return np.searchsorted(sorted_a, values, side=side, sorter=sorter)
 
-    def take(self, a, idx):
-        return a[idx]
+    def take(self, a, idx, out=None):
+        if out is None:
+            return a[idx]
+        return np.take(a, idx, out=out)
 
     def ascontiguous(self, a):
         return np.ascontiguousarray(a)
@@ -264,9 +285,13 @@ class NumpyBackend(ArrayBackend):
         return a % m
 
     # -- fused kernels -------------------------------------------------------
-    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None):
+    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None, out=None):
         xs = np.asarray(xs, dtype=np.int64) % modulus
-        acc = np.empty((coeffs.shape[0], len(xs)), dtype=np.int64)
+        acc = (
+            out
+            if out is not None
+            else np.empty((coeffs.shape[0], len(xs)), dtype=np.int64)
+        )
         acc[:] = coeffs[:, :1]
         for j in range(1, coeffs.shape[1]):
             acc *= xs
@@ -298,11 +323,19 @@ class NumpyBackend(ArrayBackend):
     def bincount_scatter(self, table, buckets, values, factor):
         depth, width = table.shape
         cells = depth * width
-        if values.shape[1] * factor >= cells:
-            offsets = (np.arange(depth, dtype=np.int64) * width)[:, None]
-            flat = (buckets + offsets).ravel()
+        length = values.shape[1]
+        if length * factor >= cells:
+            offsets = self._scatter_offsets.get((depth, width))
+            if offsets is None:
+                offsets = (np.arange(depth, dtype=np.int64) * width)[:, None]
+                self._scatter_offsets[(depth, width)] = offsets
+            need = depth * length
+            if self._scatter_flat.shape[0] < need:
+                self._scatter_flat = np.empty(need, dtype=np.int64)
+            flat = self._scatter_flat[:need].reshape(depth, length)
+            np.add(buckets, offsets, out=flat)
             table += self.bincount(
-                flat, cells, weights=values.ravel()
+                flat.ravel(), cells, weights=values.ravel()
             ).reshape(depth, width)
             return
         for row in range(depth):
@@ -448,7 +481,9 @@ class TorchBackend(ArrayBackend):  # pragma: no cover - needs torch installed
             sorted_a, values, right=(side == "right"), sorter=sorter
         )
 
-    def take(self, a, idx):
+    def take(self, a, idx, out=None):
+        # ``out`` is a host-reuse hint; torch keeps its own caching
+        # allocator, so it is ignored by contract.
         return a[idx]
 
     def ascontiguous(self, a):
@@ -459,7 +494,8 @@ class TorchBackend(ArrayBackend):  # pragma: no cover - needs torch installed
         return self._torch.remainder(a, m)
 
     # -- fused kernels -----------------------------------------------------
-    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None):
+    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None, out=None):
+        # ``out`` ignored: see :meth:`take`.
         torch = self._torch
         xs = torch.remainder(self.ensure(xs), modulus)
         acc = coeffs[:, :1].repeat(1, xs.shape[0])
@@ -535,6 +571,132 @@ class TorchBackend(ArrayBackend):  # pragma: no cover - needs torch installed
         return self._torch.unique(items)
 
 
+class NumbaBackend(NumpyBackend):
+    """Compiled thread-parallel host backend (requires numba).
+
+    Arrays are ordinary host ndarrays -- ``from_host``/``to_host`` stay
+    the identity -- but the arithmetic kernels (Horner mega-bank passes,
+    weighted bincounts, table scatters, gathers, elementwise mod) run as
+    cached nopython kernels with ``prange`` intra-chunk parallelism
+    (:mod:`repro.engine._numba_kernels`).  Threads share sketch state
+    in-process, so unlike the sharded executors there is no plan
+    rebuild, state shipping, or merge step to amortise.
+
+    The structural primitives (stable sorts, lexsort, searchsorted, the
+    ``unique`` family) deliberately stay on numpy: those are already
+    single C calls, and a nopython reimplementation would have to
+    re-prove numpy's stable-sort semantics for no measurable win.  The
+    parity suites cover the whole surface either way.
+
+    Bit-identity with the numpy reference is exact, not approximate:
+    int64 modular arithmetic in the same operation order, and integer
+    scatter accumulation (associative) instead of the float64 detour.
+    """
+
+    name = "numba"
+    device = "cpu"
+    is_gpu = False
+
+    def __init__(self):
+        kernels = _numba_kernels_module()
+        if kernels is None:
+            raise BackendUnavailableError(
+                "numba backend requested but numba is not importable"
+            )
+        super().__init__()
+        self._kernels = kernels
+
+    # -- thread control -------------------------------------------------
+    @property
+    def threads(self) -> int:
+        """Threads the parallel kernels currently fan out over."""
+        return self._kernels.get_threads()
+
+    def set_threads(self, n: int) -> int:
+        """Set the kernel thread count (clamped to the pool size)."""
+        return self._kernels.set_threads(n)
+
+    def max_threads(self) -> int:
+        return self._kernels.max_threads()
+
+    def warmup(self) -> None:
+        """Force kernel compilation now (no-op once disk-cached)."""
+        self._kernels.warmup()
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.device}, {self.threads} threads)"
+
+    # -- compiled kernels ------------------------------------------------
+    def horner_mod_bank(self, coeffs, xs, modulus, ranges=None, out=None):
+        coeffs = np.ascontiguousarray(coeffs)
+        xs = np.asarray(xs, dtype=np.int64)
+        if out is None:
+            out = np.empty((coeffs.shape[0], len(xs)), dtype=np.int64)
+        if ranges is None:
+            self._kernels.horner_mod_bank(coeffs, xs, int(modulus), out)
+        else:
+            self._kernels.horner_mod_bank_ranged(
+                coeffs,
+                xs,
+                int(modulus),
+                np.ascontiguousarray(ranges).reshape(-1),
+                out,
+            )
+        return out
+
+    def horner_mod(self, coeffs, xs, modulus, range_size=None):
+        xs = np.asarray(xs, dtype=np.int64)
+        out = np.empty(len(xs), dtype=np.int64)
+        self._kernels.horner_mod(
+            np.ascontiguousarray(np.asarray(coeffs, dtype=np.int64)),
+            xs,
+            int(modulus),
+            -1 if range_size is None else int(range_size),
+            out,
+        )
+        return out
+
+    def bincount(self, x, minlength, weights=None):
+        if weights is None:
+            return np.bincount(x, minlength=minlength).astype(np.int64)
+        out = np.zeros(minlength, dtype=np.int64)
+        self._kernels.bincount_weighted(
+            np.ascontiguousarray(x), np.ascontiguousarray(weights), out
+        )
+        return out
+
+    def bincount_scatter(self, table, buckets, values, factor):
+        # One compiled per-row scatter covers both of the numpy
+        # reference's branches (flat bincount / np.add.at); integer
+        # addition commutes, so the table ends up bit-identical.
+        self._kernels.scatter_rows(
+            table,
+            np.ascontiguousarray(buckets),
+            np.ascontiguousarray(values),
+        )
+
+    def mod(self, a, m):
+        if (
+            isinstance(a, np.ndarray)
+            and a.ndim == 1
+            and isinstance(m, (int, np.integer))
+        ):
+            out = np.empty(a.shape[0], dtype=np.int64)
+            self._kernels.mod_into(a, int(m), out)
+            return out
+        return a % m
+
+    def take(self, a, idx, out=None):
+        # The compiled gather is positional; boolean masks (and any
+        # multi-dimensional form) fall through to numpy's indexing.
+        if a.ndim == 1 and idx.ndim == 1 and idx.dtype != np.bool_:
+            if out is None:
+                out = np.empty(idx.shape[0], dtype=a.dtype)
+            self._kernels.take_into(a, idx, out)
+            return out
+        return super().take(a, idx, out=out)
+
+
 # -- registry and active-backend machinery ----------------------------------
 
 NUMPY = NumpyBackend()
@@ -545,7 +707,40 @@ HOST = NUMPY
 _TORCH_MODULE = None
 _TORCH_CHECKED = False
 _TORCH_BACKENDS: dict = {}
+_NUMBA_KERNELS = None
+_NUMBA_CHECKED = False
+_NUMBA_BACKEND = None
 _ACTIVE: ArrayBackend = NUMPY
+
+
+def _numba_kernels_module():
+    """Import the compiled-kernel module lazily, once; ``None`` if absent.
+
+    Any import failure (numba missing, unsupported llvmlite, broken
+    threading layer) means "backend unavailable", never a crash: numba
+    is an optional accelerator exactly like torch.
+    """
+    global _NUMBA_KERNELS, _NUMBA_CHECKED
+    if not _NUMBA_CHECKED:
+        _NUMBA_CHECKED = True
+        try:
+            from repro.engine import _numba_kernels
+        except Exception:
+            _NUMBA_KERNELS = None
+        else:
+            _NUMBA_KERNELS = _numba_kernels
+    return _NUMBA_KERNELS
+
+
+def numba_available() -> bool:
+    return _numba_kernels_module() is not None
+
+
+def _numba_backend() -> "NumbaBackend":
+    global _NUMBA_BACKEND
+    if _NUMBA_BACKEND is None:
+        _NUMBA_BACKEND = NumbaBackend()
+    return _NUMBA_BACKEND
 
 
 def _torch_module():
@@ -582,15 +777,20 @@ def _torch_backend(device: str) -> TorchBackend:
 def get_backend(name: str) -> ArrayBackend:
     """Resolve a backend name (see :data:`BACKEND_CHOICES`).
 
-    ``auto`` picks CUDA when torch sees a device and numpy otherwise
-    (a torch-CPU pass exists for parity testing, not speed); ``torch``
-    auto-selects the device; explicit names raise
+    ``auto`` picks the fastest backend that can run here: CUDA when
+    torch sees a device, else the compiled numba kernels when numba is
+    importable, else numpy (a torch-CPU pass exists for parity testing,
+    not speed); ``torch`` auto-selects the device; explicit names raise
     :class:`BackendUnavailableError` when they cannot run here.
     """
     if name in ("numpy", "host"):
         return NUMPY
     if name == "auto":
-        return _torch_backend("cuda") if cuda_available() else NUMPY
+        if cuda_available():
+            return _torch_backend("cuda")
+        return _numba_backend() if numba_available() else NUMPY
+    if name == "numba":
+        return _numba_backend()
     if name == "torch":
         return _torch_backend("cuda" if cuda_available() else "cpu")
     if name == "torch-cpu":
@@ -603,8 +803,14 @@ def get_backend(name: str) -> ArrayBackend:
 
 
 def available_backends() -> list:
-    """Backend names that can actually run in this process."""
+    """Backend names that can actually run in this process.
+
+    ``numpy`` (the reference) always comes first so parametrised parity
+    suites compare every other backend against it.
+    """
     names = ["numpy"]
+    if numba_available():
+        names.append("numba")
     if torch_available():
         names.append("torch-cpu")
     if cuda_available():
@@ -644,8 +850,18 @@ def use_backend(spec):
 
 
 def backend_of(a) -> ArrayBackend:
-    """The backend an array belongs to (flows with the data)."""
+    """The backend an array belongs to (flows with the data).
+
+    Host ndarrays belong to the *active host backend*: under
+    ``use_backend("numba")`` the data-driven dispatch in the sketch
+    kernels picks up the compiled scatters and Horner passes without
+    any plumbing changes, while device tensors keep routing to their
+    own backend.  When the active backend is not a host backend (torch)
+    the reference numpy backend handles host arrays, exactly as before.
+    """
     if isinstance(a, np.ndarray):
+        if isinstance(_ACTIVE, NumpyBackend):
+            return _ACTIVE
         return NUMPY
     torch = _torch_module()
     if torch is not None and isinstance(a, torch.Tensor):

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import contextlib
 
+from repro.engine.arena import ScratchArena
 from repro.engine.backend import resolve_backend
 from repro.engine.profile import PROFILER
 from repro.sketch.hashing import KWiseHash, KWiseHashBank, SampledSet
@@ -161,11 +162,13 @@ class Slot:
 class _Group:
     """Same-degree slots on one column, evaluated by a shared bank."""
 
-    __slots__ = ("bank", "slots")
+    __slots__ = ("bank", "slots", "index")
 
-    def __init__(self, bank, slots):
+    def __init__(self, bank, slots, index):
         self.bank = bank
         self.slots = slots
+        # Stable id keying the group's reusable Horner output buffer.
+        self.index = index
 
 
 class EvalPlan:
@@ -192,6 +195,10 @@ class EvalPlan:
         # selected one); every table, Horner pass, and per-chunk column
         # below lives on it.
         self.backend = resolve_backend(backend)
+        # Reusable per-chunk scratch (Horner output banks, tabulated
+        # gathers, shared masks); buffers live for one chunk only --
+        # see repro.engine.arena for the lifetime rules.
+        self.arena = ScratchArena(self.backend)
         self._columns: list[Column] = []
         self.sets = self._add_column("sets", set_domain)
         self.elems = self._add_column("elems", elem_domain)
@@ -274,17 +281,21 @@ class EvalPlan:
                 (slot.column.index, slot.hash.degree), []
             ).append(slot)
         xb = self.backend
+        group_count = 0
         for (col_index, _degree), slots in grouped.items():
             column = self._columns[col_index]
             bank = KWiseHashBank([s.hash for s in slots])
             domain = column.domain
             if domain is not None and domain <= self.table_cap:
+                # Domain tables outlive every chunk: regular
+                # allocations, never arena scratch.
                 rows = bank.eval_many(xb.arange(domain), xb)
                 for slot, row in zip(slots, rows):
                     slot._table = xb.ascontiguous(row)
                 self._mark_checked(column)
             else:
-                group = _Group(bank, slots)
+                group = _Group(bank, slots, group_count)
+                group_count += 1
                 for slot in slots:
                     self._group_of[slot.index] = group
         if profiling:
@@ -352,7 +363,12 @@ class ChunkContext:
     def all_true(self):
         """Shared all-``True`` mask for rate-1 samplers."""
         if self._true is None:
-            self._true = self.plan.backend.ones_bool(self.length)
+            buffer = self.plan.arena.take("all-true", (self.length,), bool)
+            if buffer is None:
+                self._true = self.plan.backend.ones_bool(self.length)
+            else:
+                buffer[:] = True
+                self._true = buffer
         return self._true
 
     def column_values(self, column: Column):
@@ -368,26 +384,46 @@ class ChunkContext:
         out = self._values.get(slot.index)
         if out is not None:
             return out
+        if PROFILER.enabled:
+            with PROFILER.span("hash-eval"):
+                return self._values_slow(slot)
+        return self._values_slow(slot)
+
+    def _values_slow(self, slot: Slot):
         xb = self.plan.backend
-        profiling = PROFILER.enabled
-        t0 = PROFILER.clock() if profiling else 0.0
+        arena = self.plan.arena
         if slot.trivial:
-            out = xb.zeros(self.length)
+            # One shared zero buffer serves every trivial slot: the
+            # values are constant and consumers treat them read-only.
+            out = arena.take("zeros", (self.length,))
+            if out is None:
+                out = xb.zeros(self.length)
+            else:
+                out[:] = 0
             self._values[slot.index] = out
         elif slot._table is not None:
-            out = xb.take(slot._table, self.column_values(slot.column))
+            out = xb.take(
+                slot._table,
+                self.column_values(slot.column),
+                out=arena.take(("gather", slot.index), (self.length,)),
+            )
             self._values[slot.index] = out
         else:
             out = self._eval_group(slot)
-        if profiling:
-            PROFILER.add("hash-eval", PROFILER.clock() - t0)
         return out
 
     def _eval_group(self, slot: Slot):
         """Fill every same-group slot from one mega-bank Horner pass."""
         group = self.plan._group_of[slot.index]
         xs = self.column_values(slot.column)
-        rows = group.bank.eval_many(xs, self.plan.backend)
+        out = self.plan.arena.take(
+            ("bank", group.index), (len(group.slots), len(xs))
+        )
+        if PROFILER.enabled:
+            with PROFILER.span("horner"):
+                rows = group.bank.eval_many(xs, self.plan.backend, out=out)
+        else:
+            rows = group.bank.eval_many(xs, self.plan.backend, out=out)
         for member, row in zip(group.slots, rows):
             self._values.setdefault(member.index, row)
         return self._values[slot.index]
@@ -402,14 +438,21 @@ class ChunkContext:
         else:
             table = slot.mask_table()
             if table is not None:
-                profiling = PROFILER.enabled
-                t0 = PROFILER.clock() if profiling else 0.0
-                out = self.plan.backend.take(
-                    table, self.column_values(slot.column)
-                )
-                if profiling:
-                    PROFILER.add("hash-eval", PROFILER.clock() - t0)
+                if PROFILER.enabled:
+                    with PROFILER.span("hash-eval"):
+                        out = self._mask_gather(slot, table)
+                else:
+                    out = self._mask_gather(slot, table)
             else:
                 out = self.values(slot) == 0
         self._masks[slot.index] = out
         return out
+
+    def _mask_gather(self, slot: Slot, table):
+        return self.plan.backend.take(
+            table,
+            self.column_values(slot.column),
+            out=self.plan.arena.take(
+                ("gather-mask", slot.index), (self.length,), bool
+            ),
+        )

@@ -187,17 +187,20 @@ class KWiseHashBank:
             self._device_banks[xb.name] = cached
         return cached
 
-    def eval_many(self, xs, xb=None):
+    def eval_many(self, xs, xb=None, out=None):
         """``(B, L)`` matrix with ``out[b, j] = hashes[b](xs[j])``.
 
         Evaluates on ``xb`` when given, else on the backend owning
         ``xs``.  Residues stay below 2^31, so every product fits int64
-        and the result is bit-identical across backends.
+        and the result is bit-identical across backends.  ``out`` is a
+        scratch-arena reuse hint forwarded to the backend (host
+        backends fill it, device backends may ignore it); callers must
+        use the return value.
         """
         if xb is None:
             xb = backend_of(xs)
         coeffs, ranges = self._bank_arrays(xb)
-        return xb.horner_mod_bank(coeffs, xs, MERSENNE_P, ranges)
+        return xb.horner_mod_bank(coeffs, xs, MERSENNE_P, ranges, out=out)
 
     def space_words(self) -> int:
         """Words to store every member's coefficients."""

@@ -35,6 +35,7 @@ from repro.engine.backend import (
     cuda_available,
     get_backend,
     is_backend_array,
+    numba_available,
     resolve_backend,
     torch_available,
     use_backend,
@@ -244,11 +245,16 @@ class TestRegistry:
             try:
                 backend = get_backend(name)
             except BackendUnavailableError:
-                assert name.startswith("torch") or name == "cuda"
-            else:
-                assert backend.name in ("numpy",) or backend.name.startswith(
-                    "torch"
+                assert (
+                    name.startswith("torch")
+                    or name == "cuda"
+                    or name == "numba"
                 )
+            else:
+                assert backend.name in (
+                    "numpy",
+                    "numba",
+                ) or backend.name.startswith("torch")
 
     def test_unknown_name_raises_value_error(self):
         with pytest.raises(ValueError):
@@ -256,8 +262,37 @@ class TestRegistry:
 
     def test_available_matches_probes(self):
         names = available_backends()
+        assert ("numba" in names) == numba_available()
         assert ("torch-cpu" in names) == torch_available()
         assert ("torch-cuda" in names) == cuda_available()
+
+    def test_numba_unavailable_raises_without_numba(self):
+        if numba_available():
+            pytest.skip("numba importable here; unavailability not testable")
+        with pytest.raises(BackendUnavailableError):
+            get_backend("numba")
+
+    def test_numba_resolves_when_importable(self):
+        if not numba_available():
+            pytest.skip("numba not importable here")
+        backend = get_backend("numba")
+        assert backend is get_backend("numba")  # cached singleton
+        assert backend.name == "numba"
+        assert not backend.is_gpu
+        # Thread control clamps to the pool and reports what it set.
+        assert backend.set_threads(1) == 1
+        assert backend.threads == 1
+        assert backend.set_threads(10**6) == backend.max_threads()
+        assert "threads" in backend.describe()
+
+    def test_auto_prefers_fastest_runnable_host_backend(self):
+        backend = get_backend("auto")
+        if cuda_available():
+            assert backend.name == "torch-cuda"
+        elif numba_available():
+            assert backend.name == "numba"
+        else:
+            assert backend is NUMPY
 
     def test_resolve_backend_forms(self):
         assert resolve_backend(None) is active_backend()
